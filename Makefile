@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction. Everything is plain `go`;
+# the Makefile only records the canonical invocations.
+
+GO ?= go
+
+.PHONY: all build test vet bench short results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale regeneration of every table and figure (≈15 min on one core).
+results:
+	mkdir -p results
+	$(GO) run ./cmd/affinityviz            > results/fig3.txt
+	$(GO) run ./cmd/lruprofile -instr 40000000  > results/fig45_40M.txt
+	$(GO) run ./cmd/tables     -instr 100000000 > results/tables_100M.txt
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

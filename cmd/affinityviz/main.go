@@ -1,0 +1,58 @@
+// Command affinityviz regenerates the paper's Figure 3: the affinity
+// value of every working-set element under the Circular and
+// HalfRandom(300) behaviours (N = 4000, |R| = 100) after 20k, 100k and
+// 1000k references, rendered as ASCII scatter plots or CSV.
+//
+// Usage:
+//
+//	affinityviz                      # both behaviours, ASCII panels
+//	affinityviz -behavior circular   # one behaviour
+//	affinityviz -csv                 # element,affinity rows per panel
+//	affinityviz -n 4000 -r 100       # working-set size and |R|
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		behavior = flag.String("behavior", "circular,halfrandom", "comma-separated behaviours")
+		n        = flag.Uint64("n", 4000, "working-set size N")
+		r        = flag.Int("r", 100, "R-window size |R|")
+		m        = flag.Uint64("m", 300, "HalfRandom(m) run length")
+		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
+	)
+	flag.Parse()
+
+	cfg := report.DefaultFig3Config()
+	cfg.N = *n
+	cfg.Window = *r
+	cfg.M = *m
+
+	if *csv {
+		fmt.Println("behavior,t,element,affinity")
+	}
+	for _, b := range strings.Split(*behavior, ",") {
+		b = strings.TrimSpace(b)
+		results, err := report.Fig3(b, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			if *csv {
+				for e, a := range res.Affinities {
+					fmt.Printf("%s,%d,%d,%d\n", res.Behavior, res.T, e, a)
+				}
+				continue
+			}
+			fmt.Println(report.RenderFig3(res, 100, 18))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command emsim runs one workload through the execution-migration
+// machine model and prints a full event-count report for both the
+// 1-core baseline and the 4-core migration configuration, including the
+// §2.4/§4.2 break-even analysis and update-bus traffic.
+//
+// Usage:
+//
+//	emsim -workload 181.mcf -instr 50000000
+//	emsim -cores 8                       # §6 scaling extension
+//	emsim -record mcf.trace              # record instead of simulating
+//	emsim -replay mcf.trace              # drive the machines from a trace
+//	emsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/migration"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads/suite"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "179.art", "workload name")
+		instr  = flag.Uint64("instr", 20_000_000, "instruction budget")
+		cores  = flag.Int("cores", 4, "cores in the migration configuration (2, 4 or 8)")
+		record = flag.String("record", "", "record the workload's reference stream to this file and exit")
+		replay = flag.String("replay", "", "replay a recorded trace instead of running the workload")
+		list   = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+
+	reg := suite.Registry()
+	if *list {
+		for _, n := range reg.Names() {
+			w, _ := reg.New(n)
+			fmt.Printf("%-12s %-9s %s\n", n, w.Suite(), w.Description())
+		}
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fail(err)
+		}
+		w, err := reg.New(*name)
+		if err != nil {
+			fail(err)
+		}
+		tw, err := trace.NewWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		w.Run(tw, *instr)
+		if err := tw.Close(); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d events of %s to %s\n", tw.Events(), *name, *record)
+		return
+	}
+
+	drive := func(sink mem.Sink) {
+		if *replay != "" {
+			f, err := os.Open(*replay)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			tr, err := trace.NewReader(f)
+			if err != nil {
+				fail(err)
+			}
+			if _, err := tr.Replay(sink); err != nil {
+				fail(err)
+			}
+			return
+		}
+		w, err := reg.New(*name)
+		if err != nil {
+			fail(err)
+		}
+		w.Run(sink, *instr)
+	}
+
+	run := func(cfg machine.Config) machine.Stats {
+		m := machine.New(cfg)
+		drive(m)
+		return m.Stats
+	}
+
+	normal := run(machine.NormalConfig())
+	mig := run(machine.MigrationConfigN(*cores))
+
+	fmt.Printf("workload %s, %d instructions\n\n", *name, mig.Instructions)
+	t := stats.NewTable("metric", "1-core", fmt.Sprintf("%d-core+migration", *cores))
+	row := func(label string, a, b uint64) { t.AddRow(label, fmt.Sprint(a), fmt.Sprint(b)) }
+	row("instructions", normal.Instructions, mig.Instructions)
+	row("ifetches", normal.IFetches, mig.IFetches)
+	row("loads", normal.Loads, mig.Loads)
+	row("stores", normal.Stores, mig.Stores)
+	row("IL1 misses", normal.IL1Misses, mig.IL1Misses)
+	row("DL1 misses", normal.DL1Misses, mig.DL1Misses)
+	row("L2 hits", normal.L2Hits, mig.L2Hits)
+	row("L2 hits after migration", normal.L2HitsAfterMigration, mig.L2HitsAfterMigration)
+	row("L2 misses", normal.L2Misses, mig.L2Misses)
+	row("L2-to-L2 forwards", normal.L2ToL2, mig.L2ToL2)
+	row("L3 writebacks", normal.L3Writebacks, mig.L3Writebacks)
+	row("write-through L2 allocs", normal.WriteThroughL2Misses, mig.WriteThroughL2Misses)
+	row("migrations", normal.Migrations, mig.Migrations)
+	row("update-bus bytes", normal.UpdateBusBytes, mig.UpdateBusBytes)
+	row("L1 broadcast bytes", normal.L1BroadcastBytes, mig.L1BroadcastBytes)
+	fmt.Println(t.String())
+
+	fmt.Printf("instructions per L1 miss:    %s\n", stats.PerEvent(mig.Instructions, mig.L1Misses()))
+	fmt.Printf("instructions per L2 miss:    %s (1-core), %s (4-core)\n",
+		stats.PerEvent(normal.Instructions, normal.L2Misses),
+		stats.PerEvent(mig.Instructions, mig.L2Misses))
+	fmt.Printf("instructions per migration:  %s\n", stats.PerEvent(mig.Instructions, mig.Migrations))
+
+	nRate := float64(normal.L2Misses) / float64(normal.Instructions)
+	mRate := float64(mig.L2Misses) / float64(mig.Instructions)
+	fmt.Printf("L2 miss ratio (4xL2 / L2):   %s  (<1 means migration removed misses)\n", stats.Ratio(mRate, nRate))
+
+	if be, ok := migration.MissesRemovedPerMigration(normal.Outcome(), mig.Outcome()); ok {
+		fmt.Printf("break-even Pmig:             %.1f  (migration wins while Pmig below this)\n", be)
+		tm := migration.DefaultTimeModel()
+		fmt.Println("\nspeedup vs Pmig (time model: CPI0=1, L3 penalty=20 cycles):")
+		for _, pmig := range []float64{1, 2, 5, 10, 20, 50, 100} {
+			fmt.Printf("  Pmig=%-4.0f speedup %.3f\n", pmig, tm.Speedup(normal.Outcome(), mig.Outcome(), pmig))
+		}
+	} else {
+		fmt.Println("no migrations occurred")
+	}
+}

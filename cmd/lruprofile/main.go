@@ -1,0 +1,68 @@
+// Command lruprofile regenerates the paper's Figures 4 and 5: for each
+// benchmark, the LRU-stack profile p1(x) of the L1-filtered reference
+// stream (a single stack — the "normal" curve) against the profile p4(x)
+// of the same stream routed through the 4-way affinity splitter into
+// four stacks (the "split" curve), with the transition frequency.
+//
+// Usage:
+//
+//	lruprofile                      # all 18 benchmarks
+//	lruprofile -only 179.art,bh     # subset
+//	lruprofile -instr 50000000      # budget per benchmark (paper: 1e9)
+//	lruprofile -csv                 # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/workloads/suite"
+)
+
+func main() {
+	var (
+		instr = flag.Uint64("instr", 20_000_000, "instruction budget per workload")
+		only  = flag.String("only", "", "comma-separated subset of workloads")
+		csv   = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
+	)
+	flag.Parse()
+
+	reg := suite.Registry()
+	names := reg.Names()
+	if *only != "" {
+		names = nil
+		for _, n := range strings.Split(*only, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	if *csv {
+		fmt.Println("workload,threshold_lines,threshold_bytes,p1,p4,transfreq")
+	}
+	for _, n := range names {
+		w, err := reg.New(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := report.LRUProfile(w, *instr, mem.DefaultLineShift)
+		if *csv {
+			for i, th := range res.Thresholds {
+				fmt.Printf("%s,%d,%d,%.6f,%.6f,%.6f\n",
+					res.Workload, th, th<<mem.DefaultLineShift, res.P1[i], res.P4[i], res.TransFreq)
+			}
+			continue
+		}
+		fmt.Println(report.RenderProfile(res, 18))
+		gap, split := res.Splittable()
+		verdict := "NOT splittable (or insufficient reuse)"
+		if split {
+			verdict = "splittable"
+		}
+		fmt.Printf("  max p1−p4 gap %.3f → %s\n\n", gap, verdict)
+	}
+}

@@ -1,0 +1,85 @@
+// Command tables regenerates the paper's Table 1 (benchmark inventory:
+// instructions, 16 KB IL1/DL1 misses) and Table 2 (the 4-core execution
+// migration experiment) for all 18 benchmark analogues.
+//
+// Usage:
+//
+//	tables -table1                # Table 1 only
+//	tables -table2                # Table 2 only
+//	tables -instr 50000000        # instruction budget per workload
+//	tables -only 179.art,181.mcf  # restrict to some workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/workloads"
+	"repro/internal/workloads/suite"
+)
+
+func main() {
+	var (
+		t1    = flag.Bool("table1", false, "print Table 1 only")
+		t2    = flag.Bool("table2", false, "print Table 2 only")
+		sweep = flag.Bool("sweep", false, "print the working-set-size sweep (the Table 2 trade on a synthetic circular workload) and exit")
+		cores = flag.Int("cores", 4, "cores for the -sweep migration machine")
+		laps  = flag.Uint64("laps", 40, "laps per -sweep point")
+		instr = flag.Uint64("instr", 20_000_000, "instruction budget per workload (paper: 1e9)")
+		only  = flag.String("only", "", "comma-separated subset of workloads")
+	)
+	flag.Parse()
+	if *sweep {
+		fmt.Printf("circular working-set sweep, %d-core migration machine, %d laps per point\n\n", *cores, *laps)
+		fmt.Println(report.FormatSweep(report.SweepWorkingSet(report.DefaultSweepSizes(), *laps, *cores)))
+		return
+	}
+	if !*t1 && !*t2 {
+		*t1, *t2 = true, true
+	}
+
+	reg := suite.Registry()
+	names := reg.Names()
+	if *only != "" {
+		names = nil
+		for _, n := range strings.Split(*only, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	factory := func(name string) func() workloads.Workload {
+		return func() workloads.Workload {
+			w, err := reg.New(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return w
+		}
+	}
+
+	if *t1 {
+		fmt.Printf("Table 1: benchmarks, %dM instructions each, 16KB fully-assoc LRU L1s, 64B lines\n\n", *instr/1_000_000)
+		var rows []report.Table1Row
+		for _, n := range names {
+			rows = append(rows, report.Table1(factory(n)(), *instr))
+			fmt.Fprintf(os.Stderr, "  table1 %s done\n", n)
+		}
+		fmt.Println(report.FormatTable1(rows))
+	}
+	if *t2 {
+		fmt.Printf("Table 2: 4-core, 512KB 4-way skewed L2 per core, 8k-entry affinity cache,\n")
+		fmt.Printf("25%% sampling, 18-bit filters, L2 filtering. %dM instructions per run.\n", *instr/1_000_000)
+		fmt.Printf("All columns are instructions per event (higher is better); ratio < 1 means\n")
+		fmt.Printf("execution migration removed L2 misses.\n\n")
+		var rows []report.Table2Row
+		for _, n := range names {
+			rows = append(rows, report.Table2(factory(n), *instr))
+			fmt.Fprintf(os.Stderr, "  table2 %s done\n", n)
+		}
+		fmt.Println(report.FormatTable2(rows))
+	}
+}

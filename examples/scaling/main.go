@@ -1,0 +1,65 @@
+// Scaling: the paper's §6 directions explored against the library — how
+// the migration win scales from 2 to 8 cores, and how it composes with a
+// stream prefetcher ("Future research should determine how to best
+// combine prefetching and execution migration").
+//
+// A 3 MB circular working set is driven through 1/2/4/8-core machines
+// (aggregate L2: 0.5/1/2/4 MB), with and without prefetching. The
+// crossover the paper predicts appears on both axes: migration starts
+// winning once the aggregate approaches the working set; prefetching
+// covers the predictable stream on its own, and the combination leaves
+// the least misses.
+//
+// Run: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+func run(cores int, pf bool, ws, laps uint64) machine.Stats {
+	var cfg machine.Config
+	if cores == 1 {
+		cfg = machine.NormalConfig()
+	} else {
+		cfg = machine.MigrationConfigN(cores)
+	}
+	if pf {
+		p := prefetch.Default()
+		cfg.Prefetch = &p
+	}
+	m := machine.New(cfg)
+	trace.Drive(trace.NewCircular(ws), m, laps*ws, 6, 3)
+	return m.Stats
+}
+
+func main() {
+	const ws = 48 << 10 // 3 MB of 64-byte lines
+	const laps = 60
+
+	fmt.Printf("circular working set: 3MB, %d laps, per-core L2 512KB\n\n", laps)
+	fmt.Printf("%-7s %-10s %12s %12s %11s %13s\n",
+		"cores", "prefetch", "L2 misses", "migrations", "missratio", "pf useful")
+	base := run(1, false, ws, laps)
+	for _, pf := range []bool{false, true} {
+		for _, cores := range []int{1, 2, 4, 8} {
+			s := run(cores, pf, ws, laps)
+			useful := "-"
+			if s.PrefetchIssued > 0 {
+				useful = fmt.Sprintf("%5.1f%%", 100*float64(s.PrefetchUseful)/float64(s.PrefetchIssued))
+			}
+			fmt.Printf("%-7d %-10v %12d %12d %11.3f %13s\n",
+				cores, pf, s.L2Misses, s.Migrations,
+				float64(s.L2Misses)/float64(base.L2Misses), useful)
+		}
+	}
+	fmt.Println("\nReading the table: the aggregate L2 grows with the core count")
+	fmt.Println("(0.5/1/2/4 MB); the miss ratio collapses once it covers the 3MB")
+	fmt.Println("working set. The prefetcher removes most misses on this perfectly")
+	fmt.Println("predictable stream even on one core — the paper's caveat that")
+	fmt.Println("migration matters most where prefetching fails (linked structures).")
+}

@@ -1,0 +1,137 @@
+package affinity
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Cache is the bounded affinity cache of §3.5/§4.2: a 4-way
+// skewed-associative table of (tag, Oe, age) entries. The paper sizes it
+// at 8k entries with 2-bit age-based replacement for the Table 2
+// experiment. A miss simply reports !ok; the mechanism then forces
+// Ae = 0 (Oe := ∆) and the subsequent Store allocates the entry.
+//
+// Replacement: 2-bit ages. A hit (or fresh store) zeroes the entry's age
+// and increments (saturating at 3) the ages of the other candidate
+// frames of that line; the victim is the candidate with the highest age
+// (ties broken by way order). This is a standard age-based policy for
+// skewed caches, where set-local LRU is not defined.
+type Cache struct {
+	ways     int
+	setsLog2 uint
+	lines    []mem.Line
+	oe       []int64
+	valid    []bool
+	age      []uint8
+
+	// Stats
+	Hits, Misses, Evictions uint64
+}
+
+// NewCache builds an affinity cache with the given total entry count
+// (must be ways * power-of-two) and associativity.
+func NewCache(entries, ways int) *Cache {
+	if ways < 1 || entries < ways || entries%ways != 0 {
+		panic("affinity: bad cache shape")
+	}
+	sets := entries / ways
+	log2 := uint(0)
+	for 1<<log2 < sets {
+		log2++
+	}
+	if 1<<log2 != sets {
+		panic("affinity: sets per way must be a power of two")
+	}
+	return &Cache{
+		ways:     ways,
+		setsLog2: log2,
+		lines:    make([]mem.Line, entries),
+		oe:       make([]int64, entries),
+		valid:    make([]bool, entries),
+		age:      make([]uint8, entries),
+	}
+}
+
+// NewTable2Cache returns the paper's §4.2 configuration: 8k entries,
+// 4-way skewed-associative.
+func NewTable2Cache() *Cache { return NewCache(8192, 4) }
+
+// frameOf returns the candidate frame for way w.
+func (c *Cache) frameOf(w int, line mem.Line) int {
+	return w<<c.setsLog2 + int(cache.SkewIndex(w, line, c.setsLog2))
+}
+
+// touch applies the age policy around a hit/fill at frame hit for line.
+func (c *Cache) touch(line mem.Line, hit int) {
+	for w := 0; w < c.ways; w++ {
+		f := c.frameOf(w, line)
+		if f == hit {
+			c.age[f] = 0
+		} else if c.age[f] < 3 {
+			c.age[f]++
+		}
+	}
+}
+
+// Lookup implements Table.
+func (c *Cache) Lookup(line mem.Line) (int64, bool) {
+	for w := 0; w < c.ways; w++ {
+		f := c.frameOf(w, line)
+		if c.valid[f] && c.lines[f] == line {
+			c.Hits++
+			c.touch(line, f)
+			return c.oe[f], true
+		}
+	}
+	c.Misses++
+	return 0, false
+}
+
+// Store implements Table.
+func (c *Cache) Store(line mem.Line, oe int64) {
+	// Update in place on hit.
+	for w := 0; w < c.ways; w++ {
+		f := c.frameOf(w, line)
+		if c.valid[f] && c.lines[f] == line {
+			c.oe[f] = oe
+			c.touch(line, f)
+			return
+		}
+	}
+	// Allocate: invalid frame first, else oldest age.
+	victim, bestAge := -1, -1
+	for w := 0; w < c.ways; w++ {
+		f := c.frameOf(w, line)
+		if !c.valid[f] {
+			victim = f
+			bestAge = 1000
+			break
+		}
+		if int(c.age[f]) > bestAge {
+			victim, bestAge = f, int(c.age[f])
+		}
+	}
+	if c.valid[victim] {
+		c.Evictions++
+	}
+	c.lines[victim] = line
+	c.oe[victim] = oe
+	c.valid[victim] = true
+	c.touch(line, victim)
+}
+
+// Entries returns the total entry count.
+func (c *Cache) Entries() int { return len(c.lines) }
+
+// Resident returns the number of valid entries.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Table = (*Cache)(nil)

@@ -1,0 +1,27 @@
+package affinity
+
+import "repro/internal/mem"
+
+// Hash31 is the working-set sampling hash of §3.5: H(e) = e mod 31.
+// The paper chooses the prime 31 so constant-stride reference streams do
+// not alias pathologically, and notes the hardware implementation: split
+// e into 5-bit blocks ei (since 2^5 ≡ 1 mod 31, e ≡ Σ ei mod 31), reduce
+// with a carry-save adder and a small ROM. We implement exactly that
+// block-sum reduction (and it necessarily agrees with e % 31).
+func Hash31(e mem.Line) uint32 {
+	v := uint64(e)
+	var s uint64
+	for v != 0 {
+		s += v & 31
+		v >>= 5
+	}
+	// s <= 13 blocks * 31 < 2^9; fold (value preserved mod 31 since
+	// 32 ≡ 1 mod 31) until it fits 5 bits, then map the residue 31 to 0.
+	for s >= 32 {
+		s = (s & 31) + (s >> 5)
+	}
+	if s == 31 {
+		s = 0
+	}
+	return uint32(s)
+}

@@ -1,0 +1,335 @@
+package affinity
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// runMech drives n references from g through a fresh mechanism with the
+// Figure 3 parameters (|R|, 16-bit affinity) and returns it.
+func runMech(t testing.TB, g trace.Generator, n uint64, window int) *Mechanism {
+	t.Helper()
+	m := NewMechanism(MechConfig{WindowSize: window, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := uint64(0); i < n; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	return m
+}
+
+// signProfile returns, for each element in [0,N), the sign (+1/−1) of its
+// current affinity, plus the count of positive elements.
+func signProfile(m *Mechanism, n uint64) (signs []int64, positive int) {
+	signs = make([]int64, n)
+	for e := uint64(0); e < n; e++ {
+		s := Sign(m.AffinityOf(mem.Line(e)))
+		signs[e] = s
+		if s > 0 {
+			positive++
+		}
+	}
+	return signs, positive
+}
+
+// signTransitions counts sign changes along one lap of the element space
+// (the transition frequency of a Circular stream is transitions/N).
+func signTransitions(signs []int64) int {
+	tr := 0
+	for i := 1; i < len(signs); i++ {
+		if signs[i] != signs[i-1] {
+			tr++
+		}
+	}
+	return tr
+}
+
+// TestFig3SplitCircular reproduces the upper row of Figure 3: Circular,
+// N = 4000, |R| = 100. After 100k references the working set must be
+// split in two nearly equal halves with very few sign transitions along
+// the circular order (the paper reports an optimal split: 1 transition
+// every 2000 references, i.e. 2 sign boundaries per lap).
+func TestFig3SplitCircular(t *testing.T) {
+	const n = 4000
+	m := runMech(t, trace.NewCircular(n), 100_000, 100)
+	signs, positive := signProfile(m, n)
+
+	if positive < n*35/100 || positive > n*65/100 {
+		t.Fatalf("unbalanced split: %d/%d positive", positive, n)
+	}
+	// The paper reports the optimal split at t=100k: 2 boundaries in
+	// circular order (1 transition per 2000 references). Allow minimal
+	// slack for boundary elements still settling.
+	if tr := signTransitions(signs); tr > 8 {
+		t.Fatalf("too many sign boundaries along Circular order: %d (paper: 2)", tr)
+	}
+}
+
+// TestFig3SplitCircularLong checks the split persists at t = 1000k, as in
+// the rightmost Figure 3 panels.
+func TestFig3SplitCircularLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	const n = 4000
+	m := runMech(t, trace.NewCircular(n), 1_000_000, 100)
+	signs, positive := signProfile(m, n)
+	if positive < n*35/100 || positive > n*65/100 {
+		t.Fatalf("unbalanced split: %d/%d positive", positive, n)
+	}
+	if tr := signTransitions(signs); tr > 8 {
+		t.Fatalf("too many sign boundaries: %d (paper: 2)", tr)
+	}
+}
+
+// TestFig3SplitHalfRandom reproduces the lower row of Figure 3:
+// HalfRandom(300), N = 4000, |R| = 100. The optimal split assigns each
+// half of the element space one subset (1 transition every 300
+// references). We verify each half's elements end up dominantly on one
+// side, and the two halves on opposite sides.
+func TestFig3SplitHalfRandom(t *testing.T) {
+	const n = 4000
+	m := runMech(t, trace.NewHalfRandom(n, 300, 1), 1_000_000, 100)
+
+	var posLow, posHigh int
+	for e := uint64(0); e < n/2; e++ {
+		if Sign(m.AffinityOf(mem.Line(e))) > 0 {
+			posLow++
+		}
+	}
+	for e := uint64(n / 2); e < n; e++ {
+		if Sign(m.AffinityOf(mem.Line(e))) > 0 {
+			posHigh++
+		}
+	}
+	// One half should be mostly positive, the other mostly negative.
+	lowFrac := float64(posLow) / float64(n/2)
+	highFrac := float64(posHigh) / float64(n/2)
+	if !((lowFrac > 0.9 && highFrac < 0.1) || (lowFrac < 0.1 && highFrac > 0.9)) {
+		t.Fatalf("halves not separated: lower %.2f positive, upper %.2f positive", lowFrac, highFrac)
+	}
+}
+
+// TestCircularNotSplittableWhenWindowTooBig checks the paper's §3.3
+// observation: the algorithm splits Circular only if N > 2|R|. With
+// N < 2|R| the negative feedback cannot act (elements spend as much time
+// in R as out), so no STABLE split emerges: the sign pattern keeps
+// rotating with the sweep. We detect that instability by comparing sign
+// snapshots 50k references apart — a real split is frozen (≈0 flips); the
+// sub-threshold pattern keeps moving (many flips).
+func TestCircularNotSplittableWhenWindowTooBig(t *testing.T) {
+	const n = 150 // N < 2|R| with |R| = 100
+	g := trace.NewCircular(n)
+	m := NewMechanism(MechConfig{WindowSize: 100, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := 0; i < 200_000; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	snap1, _ := signProfile(m, n)
+	for i := 0; i < 50_000; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	snap2, _ := signProfile(m, n)
+	var flips int
+	for i := range snap1 {
+		if snap1[i] != snap2[i] {
+			flips++
+		}
+	}
+	if flips < n/4 {
+		t.Fatalf("split unexpectedly stable at N < 2|R|: only %d/%d elements flipped", flips, n)
+	}
+
+	// Contrast: at N = 3|R| the split must be frozen.
+	g2 := trace.NewCircular(300)
+	m2 := NewMechanism(MechConfig{WindowSize: 100, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := 0; i < 200_000; i++ {
+		m2.Ref(mem.Line(g2.Next()), false)
+	}
+	s1, _ := signProfile(m2, 300)
+	for i := 0; i < 50_000; i++ {
+		m2.Ref(mem.Line(g2.Next()), false)
+	}
+	s2, _ := signProfile(m2, 300)
+	flips = 0
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			flips++
+		}
+	}
+	if flips > 20 {
+		t.Fatalf("split unstable at N = 3|R|: %d/300 elements flipped", flips)
+	}
+}
+
+// TestCircularSplitsJustAboveThreshold: N slightly above 2|R| should
+// still split (the paper: "able to split a Circular working-set if
+// N > 2|R|").
+func TestCircularSplitsJustAboveThreshold(t *testing.T) {
+	const n = 300 // |R| = 100, N = 3|R|
+	m := runMech(t, trace.NewCircular(n), 300_000, 100)
+	_, positive := signProfile(m, n)
+	if positive < n*30/100 || positive > n*70/100 {
+		t.Fatalf("no balanced split at N=3|R|: %d/%d positive", positive, n)
+	}
+}
+
+// TestMechanismFirstTouchAffinityZero: Ae must be 0 the first time a line
+// is referenced (Oe := ∆ on table miss).
+func TestMechanismFirstTouchAffinityZero(t *testing.T) {
+	m := NewMechanism(MechConfig{WindowSize: 4, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := 0; i < 100; i++ {
+		if ae := m.Ref(mem.Line(1000+i), false); ae != 0 {
+			t.Fatalf("first touch of line %d: Ae = %d, want 0", 1000+i, ae)
+		}
+	}
+}
+
+// TestMechanismSaturation: affinities must never escape the 16-bit range.
+func TestMechanismSaturation(t *testing.T) {
+	tab := NewUnbounded()
+	m := NewMechanism(MechConfig{WindowSize: 8, AffinityBits: 16, FilterBits: 20}, tab)
+	// Hammer two alternating lines so their affinity rises fast.
+	for i := 0; i < 300_000; i++ {
+		m.Ref(mem.Line(i%2), false)
+	}
+	for e := mem.Line(0); e < 2; e++ {
+		a := m.AffinityOf(e)
+		if a < -32768 || a > 32767 {
+			t.Fatalf("affinity of %d out of 16-bit range: %d", e, a)
+		}
+	}
+	if d := m.Delta(); d < -65536 || d > 65535 {
+		t.Fatalf("delta out of 17-bit range: %d", d)
+	}
+}
+
+// TestMechanismFilterAccumulates checks F += Ae and the Side sign rule
+// (sign(0) = +1).
+func TestMechanismFilterAccumulates(t *testing.T) {
+	m := NewMechanism(MechConfig{WindowSize: 4, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	if m.Side() != 1 {
+		t.Fatalf("initial side = %d, want +1 (sign(0) = +1)", m.Side())
+	}
+	m.UpdateFilter(-5)
+	if m.Filter() != -5 || m.Side() != -1 {
+		t.Fatalf("after UpdateFilter(-5): F=%d side=%d", m.Filter(), m.Side())
+	}
+	m.UpdateFilter(5)
+	if m.Filter() != 0 || m.Side() != 1 {
+		t.Fatalf("after +5: F=%d side=%d", m.Filter(), m.Side())
+	}
+}
+
+// TestMechanismReset verifies Reset clears registers but keeps the table.
+func TestMechanismReset(t *testing.T) {
+	tab := NewUnbounded()
+	m := NewMechanism(MechConfig{WindowSize: 8, AffinityBits: 16, FilterBits: 20}, tab)
+	for i := 0; i < 1000; i++ {
+		m.Ref(mem.Line(i%50), false)
+	}
+	if tab.Len() == 0 {
+		t.Fatal("table empty after 1000 refs")
+	}
+	n := tab.Len()
+	m.Reset()
+	if m.AR() != 0 || m.Delta() != 0 || m.Filter() != 0 || m.Refs != 0 {
+		t.Fatal("Reset did not clear registers")
+	}
+	if tab.Len() != n {
+		t.Fatal("Reset cleared the shared table")
+	}
+}
+
+// TestWindowDuplicates: referencing one line repeatedly must not corrupt
+// state (the FIFO R-window explicitly allows duplicates).
+func TestWindowDuplicates(t *testing.T) {
+	m := NewMechanism(MechConfig{WindowSize: 16, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := 0; i < 10_000; i++ {
+		m.Ref(mem.Line(7), false)
+	}
+	a := m.AffinityOf(7)
+	if a < -32768 || a > 32767 {
+		t.Fatalf("affinity out of range under duplicates: %d", a)
+	}
+}
+
+// TestLowPassTransitionBound checks the paper's §3.3 low-pass
+// observation: on Circular, after settling, the sign-transition
+// frequency of the reference stream never exceeds one per 2|R|
+// references.
+func TestLowPassTransitionBound(t *testing.T) {
+	const n, window = 4000, 100
+	g := trace.NewCircular(n)
+	m := NewMechanism(MechConfig{WindowSize: window, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	// Settle.
+	for i := 0; i < 400_000; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	// Measure sign transitions of Ae along the reference stream.
+	const probe = 200_000
+	var tr int
+	prev := int64(0)
+	for i := 0; i < probe; i++ {
+		ae := m.Ref(mem.Line(g.Next()), false)
+		s := Sign(ae)
+		if i > 0 && s != prev {
+			tr++
+		}
+		prev = s
+	}
+	maxAllowed := probe/(2*window) + probe/(2*window)/2 // 50% slack
+	if tr > maxAllowed {
+		t.Fatalf("transition frequency too high: %d transitions in %d refs (bound ~%d)", tr, probe, probe/(2*window))
+	}
+}
+
+// TestPostponedUpdateEquivalence is the central algebraic property of
+// §3.2's hardware transformation: with saturation out of the way (wide
+// registers) the postponed-update Mechanism (Ie/Oe/∆ bookkeeping, one
+// table write per reference) must produce EXACTLY the affinities of the
+// eager Definition-1 implementation (every element updated every
+// reference), for every element, on any stream WITHOUT within-window
+// duplicates. (With duplicates the FIFO relaxation reads a stale Oe for
+// the re-referenced line — the deviation the paper knowingly accepts in
+// §3.2; exactness is not expected there.)
+func TestPostponedUpdateEquivalence(t *testing.T) {
+	rng := trace.NewRNG(23)
+	for trial := 0; trial < 20; trial++ {
+		n := uint64(64 + rng.Uint64n(400))
+		window := 4 + int(rng.Uint64n(24)) // window < n: Circular/Strided have no duplicates
+		refs := 2000 + int(rng.Uint64n(4000))
+
+		var g trace.Generator
+		if trial%2 == 0 {
+			g = trace.NewCircular(n)
+		} else {
+			// coprime stride: visits all n elements before repeating
+			stride := uint64(3 + 2*rng.Uint64n(8))
+			for gcd(stride, n) != 1 {
+				stride += 2
+			}
+			g = trace.NewStrided(n, stride)
+		}
+
+		mech := NewMechanism(MechConfig{WindowSize: window, AffinityBits: 32, FilterBits: 40}, NewUnbounded())
+		ideal := NewIdeal(window, 0)
+		for i := 0; i < refs; i++ {
+			e := mem.Line(g.Next())
+			mech.Ref(e, false)
+			ideal.Ref(e)
+		}
+		for e := mem.Line(0); e < mem.Line(n); e++ {
+			if got, want := mech.AffinityOf(e), ideal.AffinityOf(e); got != want {
+				t.Fatalf("trial %d (n=%d |R|=%d refs=%d): element %d affinity %d, Definition 1 says %d",
+					trial, n, window, refs, e, got, want)
+			}
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

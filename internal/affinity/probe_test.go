@@ -1,0 +1,95 @@
+package affinity
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestProbeCircularProfile is a diagnostic: logs the affinity landscape
+// on Circular at several times. Run with -v to inspect.
+func TestProbeCircularProfile(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic probe; run with -v")
+	}
+	const n = 4000
+	g := trace.NewCircular(n)
+	m := NewMechanism(MechConfig{WindowSize: 100, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	var done uint64
+	for _, checkpoint := range []uint64{20_000, 100_000, 400_000, 1_000_000} {
+		for ; done < checkpoint; done++ {
+			m.Ref(mem.Line(g.Next()), false)
+		}
+		signs, positive := signProfile(m, n)
+		tr := signTransitions(signs)
+		// magnitude histogram
+		var small, mid, big int
+		var minA, maxA int64
+		for e := uint64(0); e < n; e++ {
+			a := m.AffinityOf(mem.Line(e))
+			if a < minA {
+				minA = a
+			}
+			if a > maxA {
+				maxA = a
+			}
+			switch {
+			case a > -100 && a < 100:
+				small++
+			case a > -2000 && a < 2000:
+				mid++
+			default:
+				big++
+			}
+		}
+		t.Logf("t=%dk: positive=%d boundaries=%d |A|<100:%d <2000:%d rest:%d range[%d,%d] delta=%d AR=%d",
+			checkpoint/1000, positive, tr, small, mid, big, minA, maxA, m.Delta(), m.AR())
+		// where are the boundaries?
+		if tr <= 12 {
+			for i := 1; i < n; i++ {
+				if signs[i] != signs[i-1] {
+					t.Logf("  boundary at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeN200 diagnoses the N = 2|R| case.
+func TestProbeN200(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic probe; run with -v")
+	}
+	const n = 200
+	g := trace.NewCircular(n)
+	m := NewMechanism(MechConfig{WindowSize: 100, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for i := 0; i < 200_000; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	snap1, _ := signProfile(m, n)
+	// continue 10k refs (50 laps) and compare
+	for i := 0; i < 10_000; i++ {
+		m.Ref(mem.Line(g.Next()), false)
+	}
+	snap2, pos := signProfile(m, n)
+	var flipped int
+	for i := range snap1 {
+		if snap1[i] != snap2[i] {
+			flipped++
+		}
+	}
+	// stream transition freq over 20k refs
+	var tr int
+	var prev int64
+	for i := 0; i < 20_000; i++ {
+		ae := m.Ref(mem.Line(g.Next()), false)
+		s := Sign(ae)
+		if i > 0 && s != prev {
+			tr++
+		}
+		prev = s
+	}
+	t.Logf("N=200: positive=%d flipped-in-10k=%d streamtrans/20k=%d boundaries=%d",
+		pos, flipped, tr, signTransitions(snap2))
+}

@@ -1,0 +1,123 @@
+package affinity
+
+import "repro/internal/mem"
+
+// Splitter is the interface shared by the 2-, 4- and 8-way splitters:
+// feed it the L1-filtered reference stream, read back the designated
+// subset.
+type Splitter interface {
+	// Ref processes a reference to line e and returns the subset the
+	// transition filter(s) designate for it. updateFilter applies the
+	// paper's L2 filtering: pass false on L2 hits so filters (and hence
+	// migrations) only move on L2 misses.
+	Ref(e mem.Line, updateFilter bool) (subset int)
+	// CommitLastFilter applies the transition-filter update deferred by
+	// the most recent Ref(e, false), returning the (possibly changed)
+	// subset. The machine model calls it when a request misses the L2.
+	CommitLastFilter() int
+	// Subset returns the currently designated subset without processing
+	// a reference.
+	Subset() int
+	// Ways returns the number of subsets produced (2, 4 or 8).
+	Ways() int
+	// Transitions returns the number of subset changes observed across
+	// consecutive Ref calls.
+	Transitions() uint64
+	// Refs returns the number of references processed.
+	Refs() uint64
+	// MinFilterFraction returns the smallest |F|/saturation across the
+	// splitter's DECIDING transition filters — how close the splitter is
+	// to designating a different subset (§6's broadcast-gating signal).
+	MinFilterFraction() float64
+}
+
+// Splitter2 performs 2-way working-set splitting with a single mechanism
+// (§3.2–§3.4; the paper notes the scheme "works also on 2-core
+// configurations"). Subsets are numbered 0 (filter sign +1) and 1
+// (sign −1).
+type Splitter2 struct {
+	M     *Mechanism
+	table Table
+
+	sampleLimit uint32
+	sampledOut  uint64
+
+	refs        uint64
+	transitions uint64
+	prev        int
+
+	pendingAe  int64
+	hasPending bool
+}
+
+// NewSplitter2 builds a 2-way splitter with its own mechanism over table
+// and no working-set sampling.
+func NewSplitter2(cfg MechConfig, table Table) *Splitter2 {
+	return &Splitter2{M: NewMechanism(cfg, table), table: table, sampleLimit: 31}
+}
+
+// SetSampleLimit applies §3.5 working-set sampling: only lines with
+// Hash31 below limit update the affinity machinery (8 ≈ 25%); the rest
+// are classified by the current filter sign alone. 31 disables sampling.
+func (s *Splitter2) SetSampleLimit(limit uint32) {
+	if limit == 0 || limit > 31 {
+		panic("affinity: SampleLimit must be in [1,31]")
+	}
+	s.sampleLimit = limit
+}
+
+// SampledOut returns how many references bypassed the affinity machinery.
+func (s *Splitter2) SampledOut() uint64 { return s.sampledOut }
+
+// Ref implements Splitter.
+func (s *Splitter2) Ref(e mem.Line, updateFilter bool) int {
+	if Hash31(e) < s.sampleLimit {
+		ae := s.M.Ref(e, updateFilter)
+		s.hasPending = !updateFilter
+		s.pendingAe = ae
+	} else {
+		s.sampledOut++
+		s.hasPending = false
+	}
+	sub := s.Subset()
+	if s.refs > 0 && sub != s.prev {
+		s.transitions++
+	}
+	s.prev = sub
+	s.refs++
+	return sub
+}
+
+// CommitLastFilter implements Splitter.
+func (s *Splitter2) CommitLastFilter() int {
+	if s.hasPending {
+		s.M.UpdateFilter(s.pendingAe)
+		s.hasPending = false
+	}
+	sub := s.Subset()
+	if sub != s.prev {
+		s.transitions++
+		s.prev = sub
+	}
+	return sub
+}
+
+// Subset implements Splitter.
+func (s *Splitter2) Subset() int {
+	if s.M.Side() > 0 {
+		return 0
+	}
+	return 1
+}
+
+// Ways implements Splitter.
+func (s *Splitter2) Ways() int { return 2 }
+
+// MinFilterFraction implements Splitter.
+func (s *Splitter2) MinFilterFraction() float64 { return s.M.FilterFraction() }
+
+// Transitions implements Splitter.
+func (s *Splitter2) Transitions() uint64 { return s.transitions }
+
+// Refs implements Splitter.
+func (s *Splitter2) Refs() uint64 { return s.refs }

@@ -1,0 +1,172 @@
+package affinity
+
+import "repro/internal/mem"
+
+// Split4Config dimensions the recursive 4-way splitter of §3.6.
+type Split4Config struct {
+	// X dimensions the whole-working-set mechanism (paper: |RX| = 128).
+	X MechConfig
+	// Y dimensions the two half-working-set mechanisms Y[+1] and Y[−1]
+	// (paper: |RY| = 64 = |RX|/2).
+	Y MechConfig
+	// SampleLimit applies working-set sampling (§3.5): only lines with
+	// H(e) < SampleLimit update the affinity machinery; the rest are
+	// classified by the current filter signs alone. 31 disables
+	// sampling; 8 is the paper's 25% sampling (8/31 ≈ 26%).
+	SampleLimit uint32
+}
+
+// Fig45Config returns the paper's §4.1 (Figures 4 & 5) parameters:
+// |RX| = 128, |RY| = 64, 16 affinity bits, 20-bit transition filters,
+// no sampling, unlimited table (the caller supplies NewUnbounded()).
+func Fig45Config() Split4Config {
+	return Split4Config{
+		X:           MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 20},
+		Y:           MechConfig{WindowSize: 64, AffinityBits: 16, FilterBits: 20},
+		SampleLimit: 31,
+	}
+}
+
+// Table2Config returns the paper's §4.2 (Table 2) parameters: 18-bit
+// transition filters (2 bits shorter, matching the 25% sampling),
+// |RX| = 128, |RY| = 64, SampleLimit 8.
+func Table2Config() Split4Config {
+	return Split4Config{
+		X:           MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 18},
+		Y:           MechConfig{WindowSize: 64, AffinityBits: 16, FilterBits: 18},
+		SampleLimit: 8,
+	}
+}
+
+// Splitter4 splits a working set four ways by applying 2-way splitting
+// recursively (§3.6). Mechanism X splits the whole set; mechanisms
+// Y[+1] and Y[−1] each split one half. All three share one affinity
+// table. The sampling hash routes each processed line: odd H(e) goes to
+// X, even H(e) goes to Y[sign(FX)]. The subset of ANY reference is the
+// sign pair (sign FX, sign F of the selected Y).
+type Splitter4 struct {
+	X, YPos, YNeg *Mechanism
+	table         Table
+	sampleLimit   uint32
+
+	refs        uint64
+	sampledOut  uint64
+	transitions uint64
+	prev        int
+	started     bool
+
+	// deferred-filter state (machine model two-phase protocol)
+	lastMech *Mechanism
+	lastAe   int64
+}
+
+// NewSplitter4 builds a 4-way splitter over the shared table.
+func NewSplitter4(cfg Split4Config, table Table) *Splitter4 {
+	if cfg.SampleLimit == 0 || cfg.SampleLimit > 31 {
+		panic("affinity: SampleLimit must be in [1,31]")
+	}
+	return &Splitter4{
+		X:           NewMechanism(cfg.X, table),
+		YPos:        NewMechanism(cfg.Y, table),
+		YNeg:        NewMechanism(cfg.Y, table),
+		table:       table,
+		sampleLimit: cfg.SampleLimit,
+	}
+}
+
+// selectY returns the Y mechanism designated by the current sign of FX.
+func (s *Splitter4) selectY() *Mechanism {
+	if s.X.Side() > 0 {
+		return s.YPos
+	}
+	return s.YNeg
+}
+
+// Ref implements Splitter. With updateFilter=false the affinity
+// machinery still updates (window, AR, ∆, table) but the transition
+// filter does not; call CommitLastFilter afterwards to apply the pending
+// filter update (the machine model does this on L2 misses — L2
+// filtering, §3.4).
+func (s *Splitter4) Ref(e mem.Line, updateFilter bool) int {
+	s.lastMech = nil
+	h := Hash31(e)
+	if h < s.sampleLimit {
+		var m *Mechanism
+		if h&1 == 1 {
+			m = s.X
+		} else {
+			m = s.selectY()
+		}
+		ae := m.Ref(e, updateFilter)
+		if !updateFilter {
+			s.lastMech, s.lastAe = m, ae
+		}
+	} else {
+		s.sampledOut++
+	}
+	s.refs++
+	return s.noteSubset()
+}
+
+// CommitLastFilter applies the transition-filter update for the most
+// recent Ref(e, false) call, if that reference was sampled in. It
+// returns the (possibly new) subset. The machine model calls this when
+// the request turns out to miss the L2.
+func (s *Splitter4) CommitLastFilter() int {
+	if s.lastMech != nil {
+		s.lastMech.UpdateFilter(s.lastAe)
+		s.lastMech = nil
+	}
+	return s.noteSubset()
+}
+
+// noteSubset reads the current subset and maintains transition counts.
+func (s *Splitter4) noteSubset() int {
+	sub := s.Subset()
+	if s.started && sub != s.prev {
+		s.transitions++
+	}
+	s.started = true
+	s.prev = sub
+	return sub
+}
+
+// Subset implements Splitter: 2*bit(FX) + bit(FY[sign FX]), where
+// bit(F) = 0 when sign F = +1 and 1 when sign F = −1.
+func (s *Splitter4) Subset() int {
+	sub := 0
+	if s.X.Side() < 0 {
+		sub = 2
+	}
+	if s.selectY().Side() < 0 {
+		sub++
+	}
+	return sub
+}
+
+// Ways implements Splitter.
+func (s *Splitter4) Ways() int { return 4 }
+
+// MinFilterFraction implements Splitter: the minimum over FX and the
+// currently selected FY (the two filters whose sign change would move
+// the subset).
+func (s *Splitter4) MinFilterFraction() float64 {
+	fx := s.X.FilterFraction()
+	if fy := s.selectY().FilterFraction(); fy < fx {
+		return fy
+	}
+	return fx
+}
+
+// Transitions implements Splitter.
+func (s *Splitter4) Transitions() uint64 { return s.transitions }
+
+// Refs implements Splitter.
+func (s *Splitter4) Refs() uint64 { return s.refs }
+
+// SampledOut returns how many references bypassed the affinity machinery
+// because of working-set sampling.
+func (s *Splitter4) SampledOut() uint64 { return s.sampledOut }
+
+var _ Splitter = (*Splitter4)(nil)
+var _ Splitter = (*Splitter2)(nil)

@@ -1,0 +1,164 @@
+package affinity
+
+import "repro/internal/mem"
+
+// Split8Config dimensions the 8-way splitter — our implementation of the
+// paper's §6 direction ("we believe it is possible to adapt it to a
+// larger number of cores"): a third recursion level is added to §3.6's
+// scheme. Mechanism X splits the whole set, Y[±1] split the halves, and
+// four Z mechanisms split the quarters; window sizes halve per level as
+// in the paper (|RY| = |RX|/2, |RZ| = |RX|/4).
+type Split8Config struct {
+	X, Y, Z     MechConfig
+	SampleLimit uint32
+}
+
+// DefaultSplit8Config mirrors Fig45Config with a third level.
+func DefaultSplit8Config() Split8Config {
+	return Split8Config{
+		X:           MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 20},
+		Y:           MechConfig{WindowSize: 64, AffinityBits: 16, FilterBits: 20},
+		Z:           MechConfig{WindowSize: 32, AffinityBits: 16, FilterBits: 20},
+		SampleLimit: 31,
+	}
+}
+
+// Table2Split8Config mirrors Table2Config (18-bit filters, 25% sampling)
+// with a third level, for an 8-core machine.
+func Table2Split8Config() Split8Config {
+	c := DefaultSplit8Config()
+	c.X.FilterBits, c.Y.FilterBits, c.Z.FilterBits = 18, 18, 18
+	c.SampleLimit = 8
+	return c
+}
+
+// Splitter8 splits a working set eight ways by three levels of recursive
+// 2-way splitting. Where §3.6 routes processed lines by the parity of
+// H(e), three levels route by H(e) mod 3 (X, the selected Y, or the
+// selected Z). All seven mechanisms share one affinity table.
+type Splitter8 struct {
+	X           *Mechanism
+	Y           [2]*Mechanism // indexed by bit(FX)
+	Z           [4]*Mechanism // indexed by 2*bit(FX)+bit(FY)
+	table       Table
+	sampleLimit uint32
+
+	refs        uint64
+	sampledOut  uint64
+	transitions uint64
+	prev        int
+	started     bool
+
+	lastMech *Mechanism
+	lastAe   int64
+}
+
+// NewSplitter8 builds an 8-way splitter over the shared table.
+func NewSplitter8(cfg Split8Config, table Table) *Splitter8 {
+	if cfg.SampleLimit == 0 || cfg.SampleLimit > 31 {
+		panic("affinity: SampleLimit must be in [1,31]")
+	}
+	s := &Splitter8{table: table, sampleLimit: cfg.SampleLimit}
+	s.X = NewMechanism(cfg.X, table)
+	for i := range s.Y {
+		s.Y[i] = NewMechanism(cfg.Y, table)
+	}
+	for i := range s.Z {
+		s.Z[i] = NewMechanism(cfg.Z, table)
+	}
+	return s
+}
+
+// bit converts a filter side (±1) to a subset bit (0 for +1, 1 for −1).
+func bit(side int64) int {
+	if side < 0 {
+		return 1
+	}
+	return 0
+}
+
+// selected returns the currently designated Y and Z mechanisms.
+func (s *Splitter8) selected() (*Mechanism, *Mechanism) {
+	y := s.Y[bit(s.X.Side())]
+	z := s.Z[2*bit(s.X.Side())+bit(y.Side())]
+	return y, z
+}
+
+// Ref implements Splitter.
+func (s *Splitter8) Ref(e mem.Line, updateFilter bool) int {
+	s.lastMech = nil
+	h := Hash31(e)
+	if h < s.sampleLimit {
+		var m *Mechanism
+		y, z := s.selected()
+		switch h % 3 {
+		case 0:
+			m = s.X
+		case 1:
+			m = y
+		default:
+			m = z
+		}
+		ae := m.Ref(e, updateFilter)
+		if !updateFilter {
+			s.lastMech, s.lastAe = m, ae
+		}
+	} else {
+		s.sampledOut++
+	}
+	s.refs++
+	return s.noteSubset()
+}
+
+// CommitLastFilter implements Splitter.
+func (s *Splitter8) CommitLastFilter() int {
+	if s.lastMech != nil {
+		s.lastMech.UpdateFilter(s.lastAe)
+		s.lastMech = nil
+	}
+	return s.noteSubset()
+}
+
+func (s *Splitter8) noteSubset() int {
+	sub := s.Subset()
+	if s.started && sub != s.prev {
+		s.transitions++
+	}
+	s.started = true
+	s.prev = sub
+	return sub
+}
+
+// Subset implements Splitter: 4*bit(FX) + 2*bit(FY) + bit(FZ).
+func (s *Splitter8) Subset() int {
+	y, z := s.selected()
+	return 4*bit(s.X.Side()) + 2*bit(y.Side()) + bit(z.Side())
+}
+
+// Ways implements Splitter.
+func (s *Splitter8) Ways() int { return 8 }
+
+// MinFilterFraction implements Splitter: minimum over the three deciding
+// filters (X, selected Y, selected Z).
+func (s *Splitter8) MinFilterFraction() float64 {
+	y, z := s.selected()
+	min := s.X.FilterFraction()
+	if f := y.FilterFraction(); f < min {
+		min = f
+	}
+	if f := z.FilterFraction(); f < min {
+		min = f
+	}
+	return min
+}
+
+// Transitions implements Splitter.
+func (s *Splitter8) Transitions() uint64 { return s.transitions }
+
+// Refs implements Splitter.
+func (s *Splitter8) Refs() uint64 { return s.refs }
+
+// SampledOut returns how many references bypassed the affinity machinery.
+func (s *Splitter8) SampledOut() uint64 { return s.sampledOut }
+
+var _ Splitter = (*Splitter8)(nil)

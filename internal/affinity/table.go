@@ -1,0 +1,36 @@
+package affinity
+
+import "repro/internal/mem"
+
+// Table stores the postponed affinity value Oe for lines that are outside
+// the R-window. The paper calls this storage the "affinity cache" (§3.2).
+// The Figure 3/4/5 experiments assume an unlimited table; the Table 2
+// experiment uses an 8k-entry 4-way skewed-associative cache (§4.2) —
+// see Cache in cache.go.
+type Table interface {
+	// Lookup returns the stored Oe for line, or ok=false on a miss.
+	Lookup(line mem.Line) (oe int64, ok bool)
+	// Store records Oe for line, possibly evicting another entry.
+	Store(line mem.Line, oe int64)
+}
+
+// Unbounded is a Table with no capacity limit, used by the paper's §4.1
+// experiments ("we assume an unlimited affinity cache size").
+type Unbounded struct {
+	m map[mem.Line]int64
+}
+
+// NewUnbounded returns an empty unlimited table.
+func NewUnbounded() *Unbounded { return &Unbounded{m: make(map[mem.Line]int64)} }
+
+// Lookup implements Table.
+func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
+	oe, ok := u.m[line]
+	return oe, ok
+}
+
+// Store implements Table.
+func (u *Unbounded) Store(line mem.Line, oe int64) { u.m[line] = oe }
+
+// Len returns the number of lines tracked.
+func (u *Unbounded) Len() int { return len(u.m) }

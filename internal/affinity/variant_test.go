@@ -1,0 +1,172 @@
+package affinity
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// experimental mechanism with pluggable ordering, used only to decide
+// which interpretation of Figure 2 reproduces the paper's Figure 3.
+type variantMech struct {
+	variant    int
+	winSize    int
+	win        []winEntry
+	head       int
+	full       bool
+	ar, d      int64
+	tab        map[mem.Line]int64
+	sv, sa, sd Sat
+}
+
+func newVariantMech(variant, winSize int) *variantMech {
+	return &variantMech{
+		variant: variant, winSize: winSize,
+		tab: map[mem.Line]int64{},
+		sv:  SatBits(16), sa: SatBits(23), sd: SatBits(17),
+	}
+}
+
+func (m *variantMech) ref(e mem.Line) {
+	oe, ok := m.tab[e]
+	if !ok {
+		oe = m.sv.Clamp(m.d)
+	}
+	ie := m.sv.Clamp(oe - 2*m.d)
+	var diff int64
+	if !m.full {
+		m.win = append(m.win, winEntry{e, ie})
+		if len(m.win) == m.winSize {
+			m.full = true
+		}
+		diff = oe
+	} else {
+		f := m.win[m.head]
+		m.win[m.head] = winEntry{e, ie}
+		m.head = (m.head + 1) % m.winSize
+		of := m.sv.Clamp(f.ie + 2*m.d)
+		m.tab[f.line] = of
+		diff = oe - of
+	}
+	switch m.variant {
+	case 0: // AR then sign(new AR)
+		m.ar = m.sa.Add(m.ar, diff)
+		m.d = m.sd.Add(m.d, Sign(m.ar))
+	case 1: // sign(old AR) then AR
+		m.d = m.sd.Add(m.d, Sign(m.ar))
+		m.ar = m.sa.Add(m.ar, diff)
+	case 2: // sign of "true AR" = reg + |R|*delta
+		m.ar = m.sa.Add(m.ar, diff)
+		m.d = m.sd.Add(m.d, Sign(m.ar+int64(m.winSize)*m.d))
+	}
+}
+
+func (m *variantMech) affinity(e mem.Line) int64 {
+	n := len(m.win)
+	for i := 1; i <= n; i++ {
+		idx := m.head - i
+		if idx < 0 {
+			idx += n
+		}
+		if m.win[idx].line == e {
+			return m.sv.Clamp(m.win[idx].ie + m.d)
+		}
+	}
+	if oe, ok := m.tab[e]; ok {
+		return m.sv.Clamp(oe - m.d)
+	}
+	return 0
+}
+
+func TestProbeVariants(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic probe; run with -v")
+	}
+	const n = 4000
+	for variant := 0; variant <= 2; variant++ {
+		g := trace.NewCircular(n)
+		m := newVariantMech(variant, 100)
+		var done int
+		for _, cp := range []int{100_000, 1_000_000} {
+			for ; done < cp; done++ {
+				m.ref(mem.Line(g.Next()))
+			}
+			var pos, tr int
+			prev := int64(0)
+			for e := uint64(0); e < n; e++ {
+				s := Sign(m.affinity(mem.Line(e)))
+				if s > 0 {
+					pos++
+				}
+				if e > 0 && s != prev {
+					tr++
+				}
+				prev = s
+			}
+			t.Logf("variant=%d t=%dk pos=%d boundaries=%d delta=%d ar=%d", variant, cp/1000, pos, tr, m.d, m.ar)
+		}
+		// N=2|R| check
+		g2 := trace.NewCircular(200)
+		m2 := newVariantMech(variant, 100)
+		for i := 0; i < 200_000; i++ {
+			m2.ref(mem.Line(g2.Next()))
+		}
+		var pos2, tr2 int
+		prev := int64(0)
+		for e := uint64(0); e < 200; e++ {
+			s := Sign(m2.affinity(mem.Line(e)))
+			if s > 0 {
+				pos2++
+			}
+			if e > 0 && s != prev {
+				tr2++
+			}
+			prev = s
+		}
+		t.Logf("variant=%d N=200: pos=%d boundaries=%d", variant, pos2, tr2)
+	}
+}
+
+func TestProbeVariant2Threshold(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic probe; run with -v")
+	}
+	for _, n := range []uint64{150, 180, 200, 210, 250, 300, 400} {
+		g := trace.NewCircular(n)
+		m := newVariantMech(2, 100)
+		for i := 0; i < 200_000; i++ {
+			m.ref(mem.Line(g.Next()))
+		}
+		snap1 := make([]int64, n)
+		for e := uint64(0); e < n; e++ {
+			snap1[e] = Sign(m.affinity(mem.Line(e)))
+		}
+		for i := 0; i < 50_000; i++ {
+			m.ref(mem.Line(g.Next()))
+		}
+		var flips, pos int
+		for e := uint64(0); e < n; e++ {
+			s := Sign(m.affinity(mem.Line(e)))
+			if s != snap1[e] {
+				flips++
+			}
+			if s > 0 {
+				pos++
+			}
+		}
+		// stream transitions over 20k refs
+		var tr int
+		var prev int64 = 0
+		for i := 0; i < 20_000; i++ {
+			e := mem.Line(g.Next())
+			m.ref(e)
+			s := Sign(m.affinity(e))
+			if i > 0 && s != prev {
+				tr++
+			}
+			prev = s
+		}
+		t.Logf("N=%d: pos=%d flips50k=%d streamtrans/20k=%d", n, pos, flips, tr)
+	}
+}

@@ -1,0 +1,106 @@
+// Package cache provides the cache models used throughout the
+// reproduction: plain set-associative with true LRU, 4-way
+// skewed-associative (the paper's L2 and affinity-cache organisation,
+// after Bodin & Seznec), and fully-associative LRU (the 16-Kbyte L1
+// filters of the paper's §4.1 experiments).
+//
+// The models track presence and per-line flag bits only — no data. Write
+// policies (write-through, write-back, write-allocate) belong to the
+// owner (the machine model); a cache here is pure storage with a
+// replacement policy, which is what trace-driven miss counting needs.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Flag bits stored per line. The machine model uses Modified for the
+// paper's migration-mode coherence (§2.1: at most one copy of a line is
+// marked modified; inactive copies stay valid with the bit reset).
+const (
+	// FlagModified marks a dirty line (write-back caches).
+	FlagModified uint8 = 1 << iota
+)
+
+// Handle identifies a resident line inside one cache. Handles are
+// invalidated by Insert and Invalidate calls affecting that frame.
+type Handle int32
+
+// Cache is the storage interface shared by all organisations.
+type Cache interface {
+	// Lookup finds line without touching replacement state.
+	Lookup(line mem.Line) (Handle, bool)
+	// Touch marks the handle most-recently used.
+	Touch(Handle)
+	// Access is Lookup followed by Touch on hit.
+	Access(line mem.Line) (Handle, bool)
+	// Insert places line (which must not be present) and returns the
+	// victim, if a valid line was evicted. The new line is MRU. The
+	// returned handle addresses the inserted line.
+	Insert(line mem.Line, flags uint8) (Handle, Victim)
+	// LineAt returns the line a handle addresses.
+	LineAt(Handle) mem.Line
+	// Flags returns the flag bits of a resident line.
+	Flags(Handle) uint8
+	// SetFlags overwrites the flag bits of a resident line.
+	SetFlags(Handle, uint8)
+	// Invalidate removes line if present, returning its flags.
+	Invalidate(line mem.Line) (uint8, bool)
+	// Capacity returns the number of line frames.
+	Capacity() int
+	// Resident returns the number of valid lines.
+	Resident() int
+}
+
+// Victim describes a line evicted by Insert.
+type Victim struct {
+	Line  mem.Line
+	Flags uint8
+	Valid bool
+}
+
+// Geometry describes a set-associative organisation.
+type Geometry struct {
+	// Ways is the associativity.
+	Ways int
+	// SetsLog2 is log2 of the number of sets per way.
+	SetsLog2 uint
+	// Skewed selects skewed-associative indexing: each way indexes with
+	// a different hash of the line address.
+	Skewed bool
+}
+
+// Frames returns the total number of line frames.
+func (g Geometry) Frames() int { return g.Ways << g.SetsLog2 }
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Ways < 1 || g.Ways > 64 {
+		return fmt.Errorf("cache: ways %d out of [1,64]", g.Ways)
+	}
+	if g.SetsLog2 > 28 {
+		return fmt.Errorf("cache: setsLog2 %d too large", g.SetsLog2)
+	}
+	return nil
+}
+
+// GeometryFor computes a geometry from a byte capacity, line size and
+// associativity: capacity/(lineSize*ways) sets. It panics unless the set
+// count is a power of two >= 1.
+func GeometryFor(capacityBytes int, lineShift uint, ways int, skewed bool) Geometry {
+	lines := capacityBytes >> lineShift
+	if lines <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cache: capacity %dB incompatible with %d ways of %dB lines", capacityBytes, ways, 1<<lineShift))
+	}
+	sets := lines / ways
+	log2 := uint(0)
+	for 1<<log2 < sets {
+		log2++
+	}
+	if 1<<log2 != sets {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return Geometry{Ways: ways, SetsLog2: log2, Skewed: skewed}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "repro/internal/mem"
+
+// SetAssoc is a set-associative cache with true LRU replacement
+// (per-frame timestamps). With Geometry.Skewed it becomes a
+// skewed-associative cache: each way indexes through SkewIndex, and the
+// victim on insertion is the least-recently-used frame among the Ways
+// candidate frames — the natural LRU generalisation for skewed caches.
+type SetAssoc struct {
+	geo   Geometry
+	lines []mem.Line
+	valid []bool
+	flags []uint8
+	stamp []uint64
+	clock uint64
+	count int
+}
+
+// NewSetAssoc builds a set-associative cache with the given geometry.
+func NewSetAssoc(geo Geometry) *SetAssoc {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	n := geo.Frames()
+	return &SetAssoc{
+		geo:   geo,
+		lines: make([]mem.Line, n),
+		valid: make([]bool, n),
+		flags: make([]uint8, n),
+		stamp: make([]uint64, n),
+	}
+}
+
+// frameOf returns the frame index of way w for line.
+func (c *SetAssoc) frameOf(w int, line mem.Line) int32 {
+	var set uint32
+	if c.geo.Skewed {
+		set = SkewIndex(w, line, c.geo.SetsLog2)
+	} else {
+		set = uint32(uint64(line) & (uint64(1)<<c.geo.SetsLog2 - 1))
+	}
+	return int32(w)<<c.geo.SetsLog2 + int32(set)
+}
+
+// Lookup implements Cache.
+func (c *SetAssoc) Lookup(line mem.Line) (Handle, bool) {
+	for w := 0; w < c.geo.Ways; w++ {
+		f := c.frameOf(w, line)
+		if c.valid[f] && c.lines[f] == line {
+			return Handle(f), true
+		}
+	}
+	return -1, false
+}
+
+// Touch implements Cache.
+func (c *SetAssoc) Touch(h Handle) {
+	c.clock++
+	c.stamp[h] = c.clock
+}
+
+// Access implements Cache.
+func (c *SetAssoc) Access(line mem.Line) (Handle, bool) {
+	h, ok := c.Lookup(line)
+	if ok {
+		c.Touch(h)
+	}
+	return h, ok
+}
+
+// Insert implements Cache. line must not already be present.
+func (c *SetAssoc) Insert(line mem.Line, flags uint8) (Handle, Victim) {
+	// Choose the victim frame: an invalid candidate if any, else the
+	// LRU among the Ways candidates.
+	best := int32(-1)
+	for w := 0; w < c.geo.Ways; w++ {
+		f := c.frameOf(w, line)
+		if c.valid[f] && c.lines[f] == line {
+			panic("cache: Insert of resident line")
+		}
+		if !c.valid[f] {
+			if best == -1 || c.valid[best] {
+				best = f
+			}
+			continue
+		}
+		if best == -1 || (c.valid[best] && c.stamp[f] < c.stamp[best]) {
+			best = f
+		}
+	}
+	var v Victim
+	if c.valid[best] {
+		v = Victim{Line: c.lines[best], Flags: c.flags[best], Valid: true}
+	} else {
+		c.count++
+	}
+	c.lines[best] = line
+	c.valid[best] = true
+	c.flags[best] = flags
+	c.clock++
+	c.stamp[best] = c.clock
+	return Handle(best), v
+}
+
+// LineAt implements Cache.
+func (c *SetAssoc) LineAt(h Handle) mem.Line { return c.lines[h] }
+
+// Flags implements Cache.
+func (c *SetAssoc) Flags(h Handle) uint8 { return c.flags[h] }
+
+// SetFlags implements Cache.
+func (c *SetAssoc) SetFlags(h Handle, f uint8) { c.flags[h] = f }
+
+// Invalidate implements Cache.
+func (c *SetAssoc) Invalidate(line mem.Line) (uint8, bool) {
+	h, ok := c.Lookup(line)
+	if !ok {
+		return 0, false
+	}
+	c.valid[h] = false
+	c.count--
+	return c.flags[h], true
+}
+
+// Capacity implements Cache.
+func (c *SetAssoc) Capacity() int { return c.geo.Frames() }
+
+// Resident implements Cache.
+func (c *SetAssoc) Resident() int { return c.count }
+
+// Geometry returns the cache organisation.
+func (c *SetAssoc) Geometry() Geometry { return c.geo }
+
+var _ Cache = (*SetAssoc)(nil)

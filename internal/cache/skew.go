@@ -1,0 +1,33 @@
+package cache
+
+import "repro/internal/mem"
+
+// SkewIndex computes the set index used by a given way of a
+// skewed-associative cache, in the spirit of Bodin & Seznec's skewing
+// functions: the index bits and the next-higher address bits are mixed
+// with a per-way bit permutation, so two lines conflicting in one way are
+// unlikely to conflict in another.
+//
+// Way 0 XORs the index bits with the next-higher bits (a1 ^ a2); way w
+// additionally rotates a2 by w positions and mixes in a multiplicative
+// scramble of the remaining high bits, so pathological power-of-two
+// strides spread out differently in every way.
+func SkewIndex(way int, line mem.Line, setsLog2 uint) uint32 {
+	if setsLog2 == 0 {
+		return 0
+	}
+	mask := uint64(1)<<setsLog2 - 1
+	v := uint64(line)
+	a1 := v & mask
+	a2 := (v >> setsLog2) & mask
+	if way == 0 {
+		return uint32(a1 ^ a2)
+	}
+	// rotate a2 left by `way` within setsLog2 bits
+	r := uint(way) % setsLog2
+	rot := ((a2 << r) | (a2 >> (setsLog2 - r))) & mask
+	hi := v >> (2 * setsLog2)
+	// golden-ratio scramble of high bits, one distinct shift per way
+	h := (hi*0x9e3779b97f4a7c15 ^ uint64(way)*0xbf58476d1ce4e5b9) >> (64 - setsLog2)
+	return uint32((a1 ^ rot ^ h) & mask)
+}

@@ -1,0 +1,139 @@
+// Package lrustack implements Mattson's LRU stack-distance profiler
+// (Mattson et al., "Evaluation techniques for storage hierarchies",
+// 1970), the tool behind the paper's §4.1 experiments: a single pass
+// over a reference stream yields, for every cache size x at once, the
+// miss ratio of a fully-associative LRU cache of that size — the curve
+// p(x) plotted in the paper's Figures 4 and 5.
+//
+// The classical stack is a move-to-front list with O(depth) search. We
+// use the standard time-slot/Fenwick-tree reformulation: each line
+// holds the (monotonically increasing) time slot of its last reference;
+// the stack depth of a reference equals the number of lines whose slot
+// is more recent — a prefix-sum query, O(log n). Slots are compacted
+// when the slot array outgrows twice the number of live lines, keeping
+// memory proportional to the distinct-line count.
+package lrustack
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Infinite is the depth reported for a first-touch reference (the paper:
+// "a reference which is encountered for the first time has an infinite
+// LRU stack depth").
+const Infinite = int64(^uint64(0) >> 1)
+
+// Stack is an unbounded LRU stack with O(log n) depth queries.
+type Stack struct {
+	slot    map[mem.Line]int64 // line → time slot of last reference
+	tree    []int64            // Fenwick tree over slots, 1-based
+	used    int64              // next free slot (number of slots consumed)
+	live    int64              // number of live (distinct) lines
+	scratch []mem.Line         // reused during compaction
+}
+
+// New returns an empty stack.
+func New() *Stack {
+	return &Stack{
+		slot: make(map[mem.Line]int64),
+		tree: make([]int64, 1024),
+	}
+}
+
+// add updates the Fenwick tree at slot i (0-based) by delta.
+func (s *Stack) add(i int64, delta int64) {
+	for j := i + 1; j <= int64(len(s.tree)-1); j += j & (-j) {
+		s.tree[j] += delta
+	}
+}
+
+// sum returns the count of live slots in [0, i] (0-based inclusive).
+func (s *Stack) sum(i int64) int64 {
+	var t int64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		t += s.tree[j]
+	}
+	return t
+}
+
+// grow ensures capacity for one more slot, compacting or resizing.
+func (s *Stack) grow() {
+	if s.used+1 < int64(len(s.tree)) {
+		return
+	}
+	if s.used >= 2*s.live && s.live > 0 {
+		s.compact()
+		return
+	}
+	// Double the tree, rebuilding (O(n)); amortised O(log n) per ref.
+	old := s.tree
+	s.tree = make([]int64, 2*len(old))
+	s.rebuild()
+}
+
+// compact reassigns dense slots preserving order, then rebuilds.
+func (s *Stack) compact() {
+	// Collect lines ordered by slot. Counting them in slot order via a
+	// scratch array indexed by old slot would need O(used) memory, which
+	// we already have in the tree; simplest is sort-free bucketing:
+	lines := s.scratch[:0]
+	for l := range s.slot {
+		lines = append(lines, l)
+	}
+	// insertion-free ordering: sort by slot using a simple slice sort.
+	sortBySlot(lines, s.slot)
+	s.scratch = lines[:0]
+	for i, l := range lines {
+		s.slot[l] = int64(i)
+	}
+	s.used = int64(len(lines))
+	s.rebuild()
+}
+
+// rebuild zeroes and repopulates the Fenwick tree from the slot map.
+func (s *Stack) rebuild() {
+	for i := range s.tree {
+		s.tree[i] = 0
+	}
+	for _, sl := range s.slot {
+		s.add(sl, 1)
+	}
+}
+
+// sortBySlot sorts lines ascending by their last-reference slot.
+// Compaction is rare (amortised over ≥ live references), so stdlib sort
+// is fine here.
+func sortBySlot(lines []mem.Line, slot map[mem.Line]int64) {
+	sort.Slice(lines, func(i, j int) bool { return slot[lines[i]] < slot[lines[j]] })
+}
+
+// Ref records a reference to line and returns its stack depth BEFORE the
+// reference: the number of distinct lines referenced since the previous
+// reference to line, or Infinite on first touch. A depth of 0 means line
+// was also the immediately preceding reference.
+func (s *Stack) Ref(line mem.Line) int64 {
+	old, seen := s.slot[line]
+	var depth int64
+	if seen {
+		// lines with slot strictly greater than old
+		depth = s.live - s.sum(old)
+		s.add(old, -1)
+		// Remove the stale mapping before grow(): a rebuild/compaction
+		// inside grow() repopulates the tree from the slot map and must
+		// not resurrect the old slot.
+		delete(s.slot, line)
+	} else {
+		depth = Infinite
+		s.live++
+	}
+	s.grow()
+	s.slot[line] = s.used
+	s.add(s.used, 1)
+	s.used++
+	return depth
+}
+
+// Live returns the number of distinct lines seen.
+func (s *Stack) Live() int64 { return s.live }

@@ -1,0 +1,207 @@
+package lrustack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// naiveDepth is an O(n) reference model: a move-to-front list.
+type naiveDepth struct {
+	order []mem.Line
+}
+
+func (n *naiveDepth) ref(line mem.Line) int64 {
+	for i, l := range n.order {
+		if l == line {
+			copy(n.order[1:i+1], n.order[:i])
+			n.order[0] = line
+			return int64(i)
+		}
+	}
+	n.order = append([]mem.Line{line}, n.order...)
+	return Infinite
+}
+
+// TestStackMatchesNaive cross-checks the Fenwick implementation against
+// the move-to-front model on random streams.
+func TestStackMatchesNaive(t *testing.T) {
+	rng := trace.NewRNG(11)
+	s := New()
+	n := &naiveDepth{}
+	for i := 0; i < 50_000; i++ {
+		line := mem.Line(rng.Uint64n(300))
+		got, want := s.Ref(line), n.ref(line)
+		if got != want {
+			t.Fatalf("ref %d line %d: depth %d, want %d", i, line, got, want)
+		}
+	}
+	if s.Live() != int64(len(n.order)) {
+		t.Fatalf("live = %d, want %d", s.Live(), len(n.order))
+	}
+}
+
+// TestStackMatchesNaiveSmallAlphabet forces heavy compaction.
+func TestStackMatchesNaiveSmallAlphabet(t *testing.T) {
+	rng := trace.NewRNG(12)
+	s := New()
+	n := &naiveDepth{}
+	for i := 0; i < 100_000; i++ {
+		line := mem.Line(rng.Uint64n(8))
+		if got, want := s.Ref(line), n.ref(line); got != want {
+			t.Fatalf("ref %d: depth %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestStackSequential: depth of a repeated circular sweep over N lines
+// is N−1 for every non-cold reference.
+func TestStackSequential(t *testing.T) {
+	s := New()
+	const n = 1000
+	g := trace.NewCircular(n)
+	for i := 0; i < n; i++ {
+		if d := s.Ref(mem.Line(g.Next())); d != Infinite {
+			t.Fatalf("cold ref %d depth %d", i, d)
+		}
+	}
+	for i := 0; i < 5*n; i++ {
+		if d := s.Ref(mem.Line(g.Next())); d != n-1 {
+			t.Fatalf("warm ref %d depth %d, want %d", i, d, n-1)
+		}
+	}
+}
+
+// TestStackImmediateRepeat: re-referencing the same line has depth 0.
+func TestStackImmediateRepeat(t *testing.T) {
+	s := New()
+	s.Ref(42)
+	for i := 0; i < 10; i++ {
+		if d := s.Ref(42); d != 0 {
+			t.Fatalf("repeat depth = %d, want 0", d)
+		}
+	}
+}
+
+// TestProfileMatchesCacheSimulation: the single-pass profile must equal
+// miss counts of independently simulated fully-associative LRU caches at
+// every threshold (the Mattson inclusion property).
+func TestProfileMatchesCacheSimulation(t *testing.T) {
+	thresholds := []int64{16, 64, 256}
+	p := NewProfile(thresholds)
+	s := New()
+
+	caches := make([]*cache.FullyAssoc, len(thresholds))
+	misses := make([]uint64, len(thresholds))
+	for i, th := range thresholds {
+		caches[i] = cache.NewFullyAssoc(int(th))
+	}
+
+	rng := trace.NewRNG(77)
+	for i := 0; i < 200_000; i++ {
+		// mixture: hot set + occasional cold lines
+		var line mem.Line
+		if rng.Uint64n(10) < 8 {
+			line = mem.Line(rng.Uint64n(200))
+		} else {
+			line = mem.Line(1000 + rng.Uint64n(100_000))
+		}
+		p.Record(s.Ref(line))
+		for j, c := range caches {
+			if _, ok := c.Access(line); !ok {
+				misses[j]++
+				c.Insert(line, 0)
+			}
+		}
+	}
+	for i := range thresholds {
+		if p.Misses[i] != misses[i] {
+			t.Fatalf("threshold %d: profile misses %d, cache simulation %d",
+				thresholds[i], p.Misses[i], misses[i])
+		}
+	}
+}
+
+// TestProfileMonotone: p(x) must be non-increasing in x (inclusion).
+func TestProfileMonotone(t *testing.T) {
+	p := NewProfile(PaperThresholds(6))
+	s := New()
+	rng := trace.NewRNG(3)
+	for i := 0; i < 300_000; i++ {
+		p.Record(s.Ref(mem.Line(rng.Uint64n(5000))))
+	}
+	for i := 1; i < len(p.Thresholds); i++ {
+		if p.Misses[i] > p.Misses[i-1] {
+			t.Fatalf("p(x) not monotone at %d: %d > %d", p.Thresholds[i], p.Misses[i], p.Misses[i-1])
+		}
+	}
+	if p.Cold == 0 || p.Refs != 300_000 {
+		t.Fatalf("bookkeeping: cold=%d refs=%d", p.Cold, p.Refs)
+	}
+}
+
+// TestPaperThresholds: 16KB..16MB at 64B lines = 256..256k lines, 11
+// points.
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds(6)
+	if len(th) != 11 || th[0] != 256 || th[len(th)-1] != 256<<10 {
+		t.Fatalf("thresholds = %v", th)
+	}
+}
+
+// TestStackDepthProperty: property test — depth of a line equals the
+// number of distinct lines referenced strictly between two references to
+// it.
+func TestStackDepthProperty(t *testing.T) {
+	f := func(fill []uint16, target uint16) bool {
+		s := New()
+		s.Ref(mem.Line(target))
+		for _, l := range fill {
+			s.Ref(mem.Line(l))
+		}
+		// Expected depth: distinct non-target lines after the LAST
+		// occurrence of target (in the stream "target, fill...").
+		last := -1
+		for i, l := range fill {
+			if l == target {
+				last = i
+			}
+		}
+		d := map[uint16]bool{}
+		for _, l := range fill[last+1:] {
+			if l != target {
+				d[l] = true
+			}
+		}
+		return s.Ref(mem.Line(target)) == int64(len(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiStackIndependent: routing disjoint streams to different
+// stacks must give each the depth it would see alone.
+func TestMultiStackIndependent(t *testing.T) {
+	ms := NewMultiStack(4, []int64{8})
+	// Two interleaved circular sweeps on different stacks.
+	gA, gB := trace.NewCircular(16), trace.NewCircular(16)
+	for i := 0; i < 16; i++ {
+		ms.Ref(0, mem.Line(gA.Next()))
+		ms.Ref(1, mem.Line(1000+gB.Next()))
+	}
+	for i := 0; i < 64; i++ {
+		if d := ms.Ref(0, mem.Line(gA.Next())); d != 15 {
+			t.Fatalf("stack 0 depth %d, want 15", d)
+		}
+		if d := ms.Ref(1, mem.Line(1000+gB.Next())); d != 15 {
+			t.Fatalf("stack 1 depth %d, want 15", d)
+		}
+	}
+	if ms.Profile.Refs != 2*16+2*64 {
+		t.Fatalf("profile refs = %d", ms.Profile.Refs)
+	}
+}

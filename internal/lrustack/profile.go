@@ -1,0 +1,105 @@
+package lrustack
+
+import "repro/internal/mem"
+
+// Depth semantics: Stack.Ref returns the number of OTHER distinct lines
+// referenced since the previous reference to the same line (0 when the
+// line was the immediately preceding reference; Infinite on first
+// touch). A fully-associative LRU cache of capacity x lines therefore
+// MISSES exactly when depth >= x.
+
+// Profile accumulates a stack-distance profile over a set of capacity
+// thresholds, yielding the paper's p(x): the fraction of references
+// whose stack depth exceeds each cache size.
+type Profile struct {
+	// Thresholds are capacities in lines, ascending.
+	Thresholds []int64
+	// Misses[i] counts references with depth >= Thresholds[i].
+	Misses []uint64
+	// Cold counts first-touch (infinite-depth) references, included in
+	// every Misses[i].
+	Cold uint64
+	// Refs counts all references.
+	Refs uint64
+}
+
+// NewProfile builds a profile over the given ascending capacities
+// (in lines).
+func NewProfile(thresholds []int64) *Profile {
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] <= thresholds[i-1] {
+			panic("lrustack: thresholds must ascend")
+		}
+	}
+	return &Profile{
+		Thresholds: append([]int64(nil), thresholds...),
+		Misses:     make([]uint64, len(thresholds)),
+	}
+}
+
+// PaperThresholds returns the capacities plotted in the paper's Figures
+// 4 and 5 — 16KB to 16MB in powers of 4 plus the intermediate powers of
+// 2 — expressed in 64-byte lines: 16KB=256 lines … 16MB=256k lines.
+func PaperThresholds(lineShift uint) []int64 {
+	var t []int64
+	for bytes := int64(16 << 10); bytes <= 16<<20; bytes *= 2 {
+		t = append(t, bytes>>lineShift)
+	}
+	return t
+}
+
+// Record adds one observed depth.
+func (p *Profile) Record(depth int64) {
+	p.Refs++
+	if depth == Infinite {
+		p.Cold++
+		for i := range p.Misses {
+			p.Misses[i]++
+		}
+		return
+	}
+	// Thresholds ascend; find the first threshold > depth. All
+	// thresholds <= depth are misses.
+	for i := len(p.Thresholds) - 1; i >= 0; i-- {
+		if depth >= p.Thresholds[i] {
+			for j := 0; j <= i; j++ {
+				p.Misses[j]++
+			}
+			break
+		}
+	}
+}
+
+// Frac returns p(x) for threshold index i: the fraction of references
+// with depth >= Thresholds[i].
+func (p *Profile) Frac(i int) float64 {
+	if p.Refs == 0 {
+		return 0
+	}
+	return float64(p.Misses[i]) / float64(p.Refs)
+}
+
+// MultiStack routes each reference to one of k stacks (the §4.1 "split"
+// experiment: the 4-way splitter chooses the stack) and accumulates one
+// global profile across all of them.
+type MultiStack struct {
+	Stacks  []*Stack
+	Profile *Profile
+}
+
+// NewMultiStack builds k stacks sharing one profile.
+func NewMultiStack(k int, thresholds []int64) *MultiStack {
+	ms := &MultiStack{Profile: NewProfile(thresholds)}
+	for i := 0; i < k; i++ {
+		ms.Stacks = append(ms.Stacks, New())
+	}
+	return ms
+}
+
+// Ref records a reference to line on stack k and returns its depth
+// within that stack.
+func (m *MultiStack) Ref(k int, line mem.Line) int64 {
+	d := m.Stacks[k].Ref(line)
+	m.Profile.Record(d)
+	return d
+}

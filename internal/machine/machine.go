@@ -1,0 +1,466 @@
+// Package machine implements the paper's multi-core machine model (§2):
+// per-core IL1/DL1 and L2 caches, a shared L3 (modelled as infinite —
+// the paper counts L2 misses and treats L2-to-L2 misses and L3 hits
+// alike), the migration-mode coherence protocol of §2.1 (modified-bit
+// discipline with an update bus keeping inactive copies valid), L1
+// mirroring (§2.3), and the migration controller hookup with L2
+// filtering (§3.4).
+//
+// The model is trace-driven and event-counting, like the paper's
+// simulator: it implements mem.Sink, consumes a workload's reference
+// stream, and reports the event counts behind Tables 1 and 2.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/migration"
+	"repro/internal/prefetch"
+)
+
+// Config describes a machine.
+type Config struct {
+	// Cores is the number of cores (paper: 4 in migration mode; a
+	// 1-core machine is the "normal" baseline).
+	Cores int
+	// LineShift is log2 of the cache-line size (paper: 6).
+	LineShift uint
+	// IL1 and DL1 are the per-core L1 organisations (paper: 16 KB,
+	// 4-way). L1 content is mirrored across cores (§2.3), so one
+	// physical copy is simulated.
+	IL1, DL1 cache.Geometry
+	// L2 is the per-core L2 organisation (paper: 512 KB, 4-way
+	// skewed-associative).
+	L2 cache.Geometry
+	// Migration, when non-nil, enables migration mode with this
+	// controller configuration. The controller's Ways must equal Cores.
+	Migration *migration.Config
+	// L3, when non-nil, models a finite shared L3 behind the L2s
+	// (write-back); L3 misses count as memory accesses. When nil the L3
+	// is infinite, as the paper assumes (it never reports L3 misses).
+	L3 *cache.Geometry
+	// Prefetch, when non-nil, attaches a stream prefetcher to the L2
+	// miss stream (prefetches land in the active core's L2) — the
+	// substrate for the §6 prefetching-interaction study.
+	Prefetch *prefetch.Config
+	// BroadcastThreshold, when positive (0 < t ≤ 1), enables §6's
+	// update-bus bandwidth optimisation: register updates are broadcast
+	// only while some deciding transition filter is within t of a sign
+	// change (a possible migration); otherwise they are coalesced in a
+	// register-update cache whose content (RegisterSpillBytes) is
+	// spilled on each migration.
+	BroadcastThreshold float64
+	// CountWriteThroughL2Misses includes L2 write-allocations triggered
+	// by DL1-hit stores (§2.1's "write allocation in L2 may be triggered
+	// even upon DL1 hits") in the headline L2-miss count. The paper's
+	// counts are trace-driven from L1-miss requests, so the default
+	// (false) reports them separately in Stats.WriteThroughL2Misses.
+	CountWriteThroughL2Misses bool
+}
+
+// PaperL1 returns the paper's 16 KB 4-way L1 geometry.
+func PaperL1() cache.Geometry { return cache.GeometryFor(16<<10, 6, 4, false) }
+
+// PaperL2 returns the paper's 512 KB 4-way skewed-associative L2.
+func PaperL2() cache.Geometry { return cache.GeometryFor(512<<10, 6, 4, true) }
+
+// NormalConfig returns the 1-core baseline machine of Table 2's "L2
+// miss" column.
+func NormalConfig() Config {
+	return Config{Cores: 1, LineShift: 6, IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2()}
+}
+
+// MigrationConfig returns the paper's 4-core migration-mode machine of
+// Table 2's "4xL2 miss" column.
+func MigrationConfig() Config { return MigrationConfigN(4) }
+
+// MigrationConfigN returns a Table2-style migration-mode machine with 2,
+// 4 or 8 cores (§6: the scheme "works also on 2-core configurations"
+// and extends to more).
+func MigrationConfigN(cores int) Config {
+	mc := migration.ConfigForCores(cores)
+	return Config{
+		Cores: cores, LineShift: 6,
+		IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(),
+		Migration: &mc,
+	}
+}
+
+// Stats are the event counts the machine accumulates. All counts are
+// events, not cycles; Table 2 reports instructions-per-event.
+type Stats struct {
+	Instructions uint64
+	IFetches     uint64
+	Loads        uint64
+	Stores       uint64
+
+	// IL1Misses and DL1Misses count L1-miss requests (the stream the
+	// migration controller monitors). Store misses count toward
+	// DL1Misses (non-write-allocate: no DL1 fill).
+	IL1Misses, DL1Misses uint64
+
+	// L2Hits counts active-L2 hits; L2HitsAfterMigration counts the
+	// subset that hit only because the request migrated.
+	L2Hits               uint64
+	L2HitsAfterMigration uint64
+	// L2Misses counts requests that had to fetch from beyond the active
+	// L2 (L2-to-L2 or L3 — the paper does not distinguish, §2.1).
+	L2Misses uint64
+	// L2ToL2 counts fetches satisfied by a modified remote copy
+	// (forwarded and simultaneously written back, §2.1).
+	L2ToL2 uint64
+	// L3Writebacks counts modified lines written back to L3 (evictions
+	// + forward-writebacks).
+	L3Writebacks uint64
+	// WriteThroughL2Misses counts L2 write-allocations from DL1-hit
+	// stores when CountWriteThroughL2Misses is false.
+	WriteThroughL2Misses uint64
+
+	Migrations uint64
+
+	// L3Hits/L3Misses/MemWritebacks are populated only with a finite L3
+	// configured: L2 misses that hit/missed the shared L3, and modified
+	// L3 victims written to memory.
+	L3Hits, L3Misses, MemWritebacks uint64
+
+	// PrefetchIssued/PrefetchUseful are populated only with a
+	// prefetcher configured: lines inserted ahead of demand, and the
+	// subset later hit by a demand request before eviction.
+	PrefetchIssued, PrefetchUseful uint64
+
+	// UpdateBusBytes approximates §2.3's update-bus traffic: ~9 bytes
+	// per retired instruction (register ids + values amortised) plus 16
+	// bytes per store (address + value). With BroadcastThreshold set,
+	// register bytes are counted only near potential migrations, plus
+	// RegisterSpillBytes per migration (§6's optimisation).
+	UpdateBusBytes uint64
+	// SuppressedRegBytes counts register-update bytes the §6 threshold
+	// gating kept off the bus.
+	SuppressedRegBytes uint64
+	// L1BroadcastBytes counts line broadcasts to inactive L1s (§2.3):
+	// one line per L1 fill.
+	L1BroadcastBytes uint64
+}
+
+// PerInstr returns instructions per event, the paper's Table 2 metric
+// (higher is better). Returns +Inf-like large value as 0-guard: when the
+// event never occurred it returns 0 and false.
+func (s Stats) PerInstr(events uint64) (float64, bool) {
+	if events == 0 {
+		return 0, false
+	}
+	return float64(s.Instructions) / float64(events), true
+}
+
+// L1Misses returns the combined L1-miss request count.
+func (s Stats) L1Misses() uint64 { return s.IL1Misses + s.DL1Misses }
+
+// Outcome converts the stats into the migration package's normalised
+// form.
+func (s Stats) Outcome() migration.Outcome {
+	return migration.Outcome{
+		Instructions: s.Instructions,
+		L2Misses:     s.L2Misses,
+		Migrations:   s.Migrations,
+	}
+}
+
+// Machine is the simulated multi-core. It implements mem.Sink.
+type Machine struct {
+	cfg  Config
+	il1  *cache.SetAssoc // mirrored across cores: one physical copy
+	dl1  *cache.SetAssoc
+	l2   []*cache.SetAssoc
+	l3   *cache.SetAssoc // nil = infinite L3 (the paper's assumption)
+	pf   *prefetch.Prefetcher
+	ctrl *migration.Controller
+
+	active int
+	Stats  Stats
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Cores < 1 {
+		panic("machine: need at least one core")
+	}
+	m := &Machine{
+		cfg: cfg,
+		il1: cache.NewSetAssoc(cfg.IL1),
+		dl1: cache.NewSetAssoc(cfg.DL1),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.l2 = append(m.l2, cache.NewSetAssoc(cfg.L2))
+	}
+	if cfg.L3 != nil {
+		m.l3 = cache.NewSetAssoc(*cfg.L3)
+	}
+	if cfg.Prefetch != nil {
+		m.pf = prefetch.New(*cfg.Prefetch)
+	}
+	if cfg.Migration != nil {
+		m.ctrl = migration.NewController(*cfg.Migration)
+		if w := m.ctrl.Ways(); w != cfg.Cores {
+			panic(fmt.Sprintf("machine: %d cores but a %d-way migration controller", cfg.Cores, w))
+		}
+	}
+	return m
+}
+
+// ActiveCore returns the core currently executing.
+func (m *Machine) ActiveCore() int { return m.active }
+
+// Controller returns the migration controller (nil in normal mode).
+func (m *Machine) Controller() *migration.Controller { return m.ctrl }
+
+// RegisterSpillBytes is the §6 register-update-cache spill: the
+// architectural register file (64 × 8 B values + identifiers).
+const RegisterSpillBytes = 64*8 + 64
+
+// Instr implements mem.Sink.
+func (m *Machine) Instr(n uint64) {
+	m.Stats.Instructions += n
+	if m.cfg.Migration == nil {
+		return
+	}
+	if m.cfg.BroadcastThreshold > 0 && !m.ctrl.NearMigration(m.cfg.BroadcastThreshold) {
+		m.Stats.SuppressedRegBytes += 9 * n
+		return
+	}
+	m.Stats.UpdateBusBytes += 9 * n
+}
+
+// Access implements mem.Sink.
+func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
+	line := mem.LineOf(addr, m.cfg.LineShift)
+	switch kind {
+	case mem.IFetch:
+		m.Stats.IFetches++
+		if _, ok := m.il1.Access(line); ok {
+			return
+		}
+		m.Stats.IL1Misses++
+		m.request(line, false, false)
+		m.fillL1(m.il1, line)
+	case mem.Load, mem.PtrLoad:
+		m.Stats.Loads++
+		if _, ok := m.dl1.Access(line); ok {
+			return
+		}
+		m.Stats.DL1Misses++
+		m.request(line, false, kind == mem.PtrLoad)
+		m.fillL1(m.dl1, line)
+	case mem.Store:
+		m.Stats.Stores++
+		if m.cfg.Migration != nil {
+			m.Stats.UpdateBusBytes += 16
+		}
+		if _, ok := m.dl1.Access(line); ok {
+			// DL1 hit: write-through to the active L2 without an
+			// L1-miss request (invisible to the controller).
+			m.storeThrough(line)
+			return
+		}
+		// DL1 miss: non-write-allocate — no DL1 fill, but the store is
+		// an L1-miss request serviced by the L2.
+		m.Stats.DL1Misses++
+		m.request(line, true, false)
+	}
+}
+
+// spillRegisters accounts the catch-up broadcast a migration requires
+// when register updates were being suppressed (§6).
+func (m *Machine) spillRegisters() {
+	if m.cfg.BroadcastThreshold > 0 {
+		m.Stats.UpdateBusBytes += RegisterSpillBytes
+	}
+}
+
+// fillL1 inserts a line into an L1 after an L2/L3 fetch; the line is
+// broadcast to the inactive L1 copies (§2.3), which we account but do
+// not duplicate (contents are mirrored).
+func (m *Machine) fillL1(l1 *cache.SetAssoc, line mem.Line) {
+	if _, ok := l1.Lookup(line); ok {
+		return
+	}
+	l1.Insert(line, 0)
+	if m.cfg.Migration != nil {
+		m.Stats.L1BroadcastBytes += uint64(m.cfg.Cores-1) << m.cfg.LineShift
+	}
+}
+
+// request services an L1-miss request (§2.2's controller-visible path).
+// isStore marks write-allocate semantics: the fetched/hit line becomes
+// modified on the active core and loses its modified bit elsewhere.
+func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
+	if m.ctrl != nil {
+		if core, migrated := m.ctrl.OnRequest(line); migrated {
+			// Only possible with NoL2Filtering (ablation): the filter
+			// moved on the request itself.
+			m.Stats.Migrations++
+			m.active = core
+			m.spillRegisters()
+		}
+	}
+	if h, ok := m.l2[m.active].Access(line); ok {
+		m.Stats.L2Hits++
+		m.notePrefetchHit(h)
+		if isStore {
+			m.markModified(h, line)
+		}
+		return
+	}
+	// Active-L2 miss: with L2 filtering the transition filter moves now,
+	// and a migration may redirect the request (§3.4: "a migration can
+	// happen only upon a L2 miss").
+	if m.ctrl != nil {
+		if core, migrated := m.ctrl.OnL2Miss(isPtrLoad); migrated {
+			m.Stats.Migrations++
+			m.active = core
+			m.spillRegisters()
+			if h, ok := m.l2[m.active].Access(line); ok {
+				// The new active L2 holds the line: serviced locally
+				// after the migration, no L3 access.
+				m.Stats.L2Hits++
+				m.Stats.L2HitsAfterMigration++
+				m.notePrefetchHit(h)
+				if isStore {
+					m.markModified(h, line)
+				}
+				return
+			}
+		}
+	}
+	m.Stats.L2Misses++
+	m.fetch(line, isStore)
+	m.prefetchAfterMiss(line)
+}
+
+// notePrefetchHit converts a prefetched line into a useful one the
+// first time a demand request touches it.
+func (m *Machine) notePrefetchHit(h cache.Handle) {
+	if m.pf == nil {
+		return
+	}
+	l2 := m.l2[m.active]
+	if f := l2.Flags(h); f&flagPrefetched != 0 {
+		l2.SetFlags(h, f&^flagPrefetched)
+		m.Stats.PrefetchUseful++
+	}
+}
+
+// prefetchAfterMiss trains the stream prefetcher on the demand miss and
+// inserts its predictions into the active L2.
+func (m *Machine) prefetchAfterMiss(line mem.Line) {
+	if m.pf == nil {
+		return
+	}
+	for _, pl := range m.pf.OnMiss(line) {
+		if _, ok := m.l2[m.active].Lookup(pl); ok {
+			continue
+		}
+		m.Stats.PrefetchIssued++
+		_, victim := m.l2[m.active].Insert(pl, flagPrefetched)
+		if victim.Valid && victim.Flags&cache.FlagModified != 0 {
+			m.Stats.L3Writebacks++
+		}
+	}
+}
+
+// storeThrough performs the write-through of a DL1-hit store: update the
+// active L2 (allocating on miss — §2.1), set its modified bit, reset
+// modified on inactive copies.
+func (m *Machine) storeThrough(line mem.Line) {
+	if h, ok := m.l2[m.active].Access(line); ok {
+		m.markModified(h, line)
+		return
+	}
+	if m.cfg.CountWriteThroughL2Misses {
+		m.Stats.L2Misses++
+	} else {
+		m.Stats.WriteThroughL2Misses++
+	}
+	m.fetch(line, true)
+}
+
+// markModified sets the modified bit on the active core's copy and
+// resets it on inactive copies (which remain valid — their content is
+// refreshed over the update bus, §2.1).
+func (m *Machine) markModified(h cache.Handle, line mem.Line) {
+	m.l2[m.active].SetFlags(h, m.l2[m.active].Flags(h)|cache.FlagModified)
+	for c, l2 := range m.l2 {
+		if c == m.active {
+			continue
+		}
+		if hh, ok := l2.Lookup(line); ok {
+			l2.SetFlags(hh, l2.Flags(hh)&^cache.FlagModified)
+		}
+	}
+}
+
+// fetch brings a line into the active L2 from a modified remote copy
+// (L2-to-L2, with simultaneous writeback) or from L3. Non-modified
+// remote copies cannot be forwarded (§2.1) — the line is re-fetched
+// from L3.
+func (m *Machine) fetch(line mem.Line, isStore bool) {
+	for c, l2 := range m.l2 {
+		if c == m.active {
+			continue
+		}
+		if h, ok := l2.Lookup(line); ok && l2.Flags(h)&cache.FlagModified != 0 {
+			// forward + simultaneous writeback, reset modified
+			l2.SetFlags(h, l2.Flags(h)&^cache.FlagModified)
+			m.Stats.L2ToL2++
+			m.Stats.L3Writebacks++
+			break
+		}
+	}
+	if m.l3 != nil {
+		if _, ok := m.l3.Access(line); ok {
+			m.Stats.L3Hits++
+		} else {
+			m.Stats.L3Misses++
+			_, v3 := m.l3.Insert(line, 0)
+			if v3.Valid && v3.Flags&cache.FlagModified != 0 {
+				m.Stats.MemWritebacks++
+			}
+		}
+	}
+	var flags uint8
+	if isStore {
+		flags = cache.FlagModified
+	}
+	_, victim := m.l2[m.active].Insert(line, flags)
+	if victim.Valid && victim.Flags&cache.FlagModified != 0 {
+		m.Stats.L3Writebacks++
+		if m.l3 != nil {
+			if h3, ok := m.l3.Lookup(victim.Line); ok {
+				m.l3.SetFlags(h3, m.l3.Flags(h3)|cache.FlagModified)
+			} else {
+				_, v3 := m.l3.Insert(victim.Line, cache.FlagModified)
+				if v3.Valid && v3.Flags&cache.FlagModified != 0 {
+					m.Stats.MemWritebacks++
+				}
+			}
+		}
+	}
+	if isStore {
+		// the write resets modified on any inactive copies
+		for c, l2 := range m.l2 {
+			if c == m.active {
+				continue
+			}
+			if hh, ok := l2.Lookup(line); ok {
+				l2.SetFlags(hh, l2.Flags(hh)&^cache.FlagModified)
+			}
+		}
+	}
+}
+
+var _ mem.Sink = (*Machine)(nil)
+
+// flagPrefetched marks L2 lines inserted by the prefetcher and not yet
+// touched by a demand request (usefulness accounting).
+const flagPrefetched uint8 = 1 << 7

@@ -1,0 +1,214 @@
+// Package migration implements the paper's migration controller (§2.2,
+// §3): the hardware block that monitors L1-miss requests from the active
+// core, runs the affinity machinery, and decides when and where to
+// migrate execution. It also provides the migration-penalty analysis of
+// §2.4/§4.2 (break-even Pmig and a simple timing model).
+//
+// Beyond the paper's simulated 4-core configuration, the controller
+// supports the two extensions §6 sketches: 2- and 8-core splitting
+// ("it works also on 2-core configurations, and we believe it is
+// possible to adapt it to a larger number of cores") and pointer-load
+// filtering ("having the transition filter updated only on requests
+// coming from pointer loads").
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/affinity"
+	"repro/internal/mem"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	// Ways selects the splitting degree: 2, 4 (default) or 8. It must
+	// match the machine's core count.
+	Ways int
+	// Split dimensions the 4-way splitter (affinity.Table2Config() is
+	// the paper's §4.2 setting). Used when Ways == 4.
+	Split affinity.Split4Config
+	// Split2 dimensions the 2-way splitter (Ways == 2);
+	// Split2SampleLimit applies §3.5 sampling to it (0 = no sampling).
+	Split2            affinity.MechConfig
+	Split2SampleLimit uint32
+	// Split8 dimensions the 8-way splitter (Ways == 8).
+	Split8 affinity.Split8Config
+	// TableEntries bounds the affinity cache; 0 selects an unbounded
+	// table (the §4.1 idealisation). The paper's Table 2 uses 8192.
+	TableEntries int
+	// TableWays is the affinity-cache associativity (paper: 4, skewed).
+	TableWays int
+	// NoL2Filtering disables the paper's L2 filtering (§3.4): the
+	// transition filter then updates on every L1-miss request and a
+	// migration may trigger even when the request would hit the active
+	// L2. Exists for the ablation bench; the paper's Table 2 uses L2
+	// filtering (default false).
+	NoL2Filtering bool
+	// PointerLoadsOnly applies §6's restriction: only requests from
+	// pointer loads (mem.PtrLoad) update the transition filter, so only
+	// linked-data-structure traffic can trigger migrations.
+	PointerLoadsOnly bool
+}
+
+// Table2Config returns the paper's §4.2 controller: 4-way, 8k-entry
+// 4-way skewed affinity cache, 18-bit filters, 25% sampling, L2
+// filtering (the machine applies the filtering by calling OnL2Miss only
+// on misses).
+func Table2Config() Config {
+	return Config{
+		Ways:         4,
+		Split:        affinity.Table2Config(),
+		TableEntries: 8192,
+		TableWays:    4,
+	}
+}
+
+// ConfigForCores returns a Table2-style controller for 2, 4 or 8 cores.
+// The affinity cache scales with the aggregate L2 capacity, as §3.5
+// prescribes ("the affinity cache size should be proportional to the
+// total on-chip L2 capacity"): 2048 entries per core at 25% sampling.
+func ConfigForCores(cores int) Config {
+	cfg := Table2Config()
+	cfg.TableEntries = 2048 * cores
+	switch cores {
+	case 2:
+		cfg.Ways = 2
+		cfg.Split2 = affinity.MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 18}
+		cfg.Split2SampleLimit = 8
+	case 4:
+		// Table2Config defaults.
+	case 8:
+		cfg.Ways = 8
+		cfg.Split8 = affinity.Table2Split8Config()
+	default:
+		panic(fmt.Sprintf("migration: unsupported core count %d", cores))
+	}
+	return cfg
+}
+
+// Controller tracks the active core and decides migrations.
+type Controller struct {
+	split       affinity.Splitter
+	table       affinity.Table
+	active      int
+	noFiltering bool
+	ptrOnly     bool
+
+	// Migrations counts executed migrations.
+	Migrations uint64
+	// Requests counts L1-miss requests observed.
+	Requests uint64
+	// L2MissUpdates counts transition-filter updates (= L2 misses seen,
+	// minus those skipped by pointer-load filtering).
+	L2MissUpdates uint64
+}
+
+// NewController builds a controller.
+func NewController(cfg Config) *Controller {
+	var table affinity.Table
+	if cfg.TableEntries == 0 {
+		table = affinity.NewUnbounded()
+	} else {
+		table = affinity.NewCache(cfg.TableEntries, cfg.TableWays)
+	}
+	var split affinity.Splitter
+	switch cfg.Ways {
+	case 2:
+		mc := cfg.Split2
+		if mc.WindowSize == 0 {
+			mc = affinity.MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 18}
+		}
+		s2 := affinity.NewSplitter2(mc, table)
+		if cfg.Split2SampleLimit != 0 {
+			s2.SetSampleLimit(cfg.Split2SampleLimit)
+		}
+		split = s2
+	case 0, 4:
+		sc := cfg.Split
+		if sc.X.WindowSize == 0 {
+			sc = affinity.Table2Config()
+		}
+		split = affinity.NewSplitter4(sc, table)
+	case 8:
+		sc := cfg.Split8
+		if sc.X.WindowSize == 0 {
+			sc = affinity.Table2Split8Config()
+		}
+		split = affinity.NewSplitter8(sc, table)
+	default:
+		panic(fmt.Sprintf("migration: unsupported Ways %d", cfg.Ways))
+	}
+	return &Controller{
+		split:       split,
+		table:       table,
+		noFiltering: cfg.NoL2Filtering,
+		ptrOnly:     cfg.PointerLoadsOnly,
+	}
+}
+
+// Ways returns the number of cores the controller splits across.
+func (c *Controller) Ways() int { return c.split.Ways() }
+
+// Active returns the currently active core (0..Ways-1).
+func (c *Controller) Active() int { return c.active }
+
+// OnRequest feeds one L1-miss request into the affinity machinery
+// (R-window, AR, ∆, affinity cache). With L2 filtering (the default)
+// the transition filter does NOT move here — the machine calls OnL2Miss
+// if the request goes on to miss the active L2 — and the returned
+// migrated is always false. With NoL2Filtering the filter moves on
+// every request and a migration may trigger immediately.
+func (c *Controller) OnRequest(line mem.Line) (core int, migrated bool) {
+	c.Requests++
+	if c.noFiltering {
+		sub := c.split.Ref(line, true)
+		if sub != c.active {
+			c.active = sub
+			c.Migrations++
+			return sub, true
+		}
+		return sub, false
+	}
+	c.split.Ref(line, false)
+	return c.active, false
+}
+
+// OnL2Miss commits the pending transition-filter update for the most
+// recent request (L2 filtering, §3.4) and returns the designated core.
+// isPointerLoad marks requests issued by pointer loads; with
+// PointerLoadsOnly set, other requests skip the filter update (§6).
+// If the designated core differs from the active one, the controller
+// migrates.
+func (c *Controller) OnL2Miss(isPointerLoad bool) (core int, migrated bool) {
+	if c.ptrOnly && !isPointerLoad {
+		return c.active, false
+	}
+	c.L2MissUpdates++
+	sub := c.split.CommitLastFilter()
+	if sub != c.active {
+		c.active = sub
+		c.Migrations++
+		return sub, true
+	}
+	return sub, false
+}
+
+// NearMigration reports whether any deciding transition filter is
+// within frac of a sign change (§6: "broadcast register updates only
+// when the transition filter absolute value falls below a certain
+// threshold, as it indicates a possible migration").
+func (c *Controller) NearMigration(frac float64) bool {
+	return c.split.MinFilterFraction() < frac
+}
+
+// Splitter exposes the underlying splitter (instrumentation).
+func (c *Controller) Splitter() affinity.Splitter { return c.split }
+
+// AffinityCache returns the bounded affinity cache, or nil when the
+// controller uses an unbounded table.
+func (c *Controller) AffinityCache() *affinity.Cache {
+	if ac, ok := c.table.(*affinity.Cache); ok {
+		return ac
+	}
+	return nil
+}

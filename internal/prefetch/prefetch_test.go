@@ -1,0 +1,111 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestUnitStrideTraining: after two confirming misses, a unit-stride
+// stream prefetches Degree lines ahead, and stays trained when demand
+// misses land past its own prefetches (run-ahead).
+func TestUnitStrideTraining(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 2, MaxStride: 8})
+	if got := p.OnMiss(100); len(got) != 0 {
+		t.Fatalf("prefetch on first miss: %v", got)
+	}
+	if got := p.OnMiss(101); len(got) != 0 {
+		t.Fatalf("prefetch at confidence 1: %v", got)
+	}
+	got := p.OnMiss(102) // confidence 2: trained
+	if len(got) != 2 || got[0] != 103 || got[1] != 104 {
+		t.Fatalf("trained prefetch = %v, want [103 104]", got)
+	}
+	// Next demand miss skips the prefetched lines: stream must continue.
+	got = p.OnMiss(105)
+	if len(got) != 2 || got[0] != 106 || got[1] != 107 {
+		t.Fatalf("run-ahead broken: %v", got)
+	}
+}
+
+// TestNegativeStride: descending streams train too.
+func TestNegativeStride(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 1, MaxStride: 8})
+	p.OnMiss(1000)
+	p.OnMiss(998)
+	got := p.OnMiss(996)
+	if len(got) != 1 || got[0] != 994 {
+		t.Fatalf("negative stride prefetch = %v, want [994]", got)
+	}
+}
+
+// TestStrideBeyondMaxIsNewStream: jumps larger than MaxStride allocate
+// fresh streams instead of corrupting an existing one.
+func TestStrideBeyondMaxIsNewStream(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 2, MaxStride: 8})
+	p.OnMiss(100)
+	p.OnMiss(101)
+	p.OnMiss(102) // trained at stride 1
+	if got := p.OnMiss(5000); len(got) != 0 {
+		t.Fatalf("far jump should allocate, not prefetch: %v", got)
+	}
+	// The original stream is intact: continuing it keeps prefetching.
+	if got := p.OnMiss(105); len(got) == 0 {
+		t.Fatal("original stream lost after far jump")
+	}
+}
+
+// TestConcurrentStreams: interleaved streams with different strides are
+// tracked independently.
+func TestConcurrentStreams(t *testing.T) {
+	p := New(Config{Streams: 4, Degree: 1, MaxStride: 8})
+	// stream A: 100,101,102… ; stream B: 5000,5002,5004…
+	p.OnMiss(100)
+	p.OnMiss(5000)
+	p.OnMiss(101)
+	p.OnMiss(5002)
+	ga := append([]mem.Line(nil), p.OnMiss(102)...) // result is valid until the next call: copy
+	gb := p.OnMiss(5004)
+	if len(ga) != 1 || ga[0] != 103 {
+		t.Fatalf("stream A: %v", ga)
+	}
+	if len(gb) != 1 || gb[0] != 5006 {
+		t.Fatalf("stream B: %v", gb)
+	}
+}
+
+// TestRandomMissesStayQuiet: uniform random misses must train almost
+// never.
+func TestRandomMissesStayQuiet(t *testing.T) {
+	p := New(Default())
+	rng := trace.NewRNG(8)
+	issued := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		issued += len(p.OnMiss(mem.Line(rng.Uint64n(1 << 24))))
+	}
+	if frac := float64(issued) / n; frac > 0.01 {
+		t.Fatalf("random stream triggered %.3f prefetches per miss", frac)
+	}
+}
+
+// TestRepeatMissRefreshesOnly: the same line missing twice must not
+// create a zero-stride prefetch loop.
+func TestRepeatMissRefreshesOnly(t *testing.T) {
+	p := New(Config{Streams: 2, Degree: 2, MaxStride: 4})
+	p.OnMiss(77)
+	for i := 0; i < 10; i++ {
+		if got := p.OnMiss(77); len(got) != 0 {
+			t.Fatalf("zero-stride prefetch: %v", got)
+		}
+	}
+}
+
+// TestDefaultsFilled: zero-value config fields pick defaults.
+func TestDefaultsFilled(t *testing.T) {
+	p := New(Config{})
+	if len(p.streams) != 16 || p.cfg.Degree != 2 || p.cfg.MaxStride != 8 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+}

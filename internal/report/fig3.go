@@ -1,0 +1,151 @@
+// Package report implements the experiment drivers that regenerate every
+// table and figure of the paper: Figure 3 (affinity landscapes on
+// synthetic behaviours), Figures 4 & 5 (LRU-stack profiles p1 vs p4 with
+// transition frequency), Table 1 (benchmark inventory), and Table 2
+// (the 4-core machine experiment). The cmd/ binaries and bench_test.go
+// are thin wrappers over this package so every artefact is regenerable
+// both interactively and under `go test -bench`.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/affinity"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Fig3Result holds one panel of Figure 3: the affinity value of every
+// working-set element after t references, plus the measured sign
+// transition frequency of the reference stream.
+type Fig3Result struct {
+	Behavior   string
+	T          uint64
+	Affinities []int64
+	// TransFreq is the frequency of sign(Ae) changes along the stream,
+	// measured over the final measurement window.
+	TransFreq float64
+	// PositiveCount is the number of elements with non-negative
+	// affinity (balance check).
+	PositiveCount int
+}
+
+// Fig3Config reproduces the paper's Figure 3 setup.
+type Fig3Config struct {
+	N           uint64   // working-set size (paper: 4000)
+	Window      int      // |R| (paper: 100)
+	M           uint64   // HalfRandom parameter (paper: 300)
+	Checkpoints []uint64 // reference counts to snapshot (paper: 20k, 100k, 1000k)
+	Seed        uint64
+}
+
+// DefaultFig3Config returns the paper's parameters.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		N:           4000,
+		Window:      100,
+		M:           300,
+		Checkpoints: []uint64{20_000, 100_000, 1_000_000},
+		Seed:        1,
+	}
+}
+
+// Fig3 runs the affinity algorithm on the named behaviour ("circular" or
+// "halfrandom") and returns one result per checkpoint.
+func Fig3(behavior string, cfg Fig3Config) ([]Fig3Result, error) {
+	var g trace.Generator
+	switch strings.ToLower(behavior) {
+	case "circular":
+		g = trace.NewCircular(cfg.N)
+	case "halfrandom":
+		g = trace.NewHalfRandom(cfg.N, cfg.M, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("report: unknown behaviour %q (want circular or halfrandom)", behavior)
+	}
+	m := affinity.NewMechanism(
+		affinity.MechConfig{WindowSize: cfg.Window, AffinityBits: 16, FilterBits: 20},
+		affinity.NewUnbounded(),
+	)
+
+	var results []Fig3Result
+	var done uint64
+	var prevSign int64
+	var trans, window uint64
+	for _, cp := range cfg.Checkpoints {
+		for ; done < cp; done++ {
+			ae := m.Ref(mem.Line(g.Next()), false)
+			s := affinity.Sign(ae)
+			if window > 0 && s != prevSign {
+				trans++
+			}
+			prevSign = s
+			window++
+		}
+		res := Fig3Result{
+			Behavior:   behavior,
+			T:          cp,
+			Affinities: make([]int64, cfg.N),
+			TransFreq:  float64(trans) / float64(window),
+		}
+		for e := uint64(0); e < cfg.N; e++ {
+			a := m.AffinityOf(mem.Line(e))
+			res.Affinities[e] = a
+			if a >= 0 {
+				res.PositiveCount++
+			}
+		}
+		results = append(results, res)
+		trans, window = 0, 0
+	}
+	return results, nil
+}
+
+// RenderFig3 draws one panel as an ASCII scatter: elements on x, affinity
+// on y, '+' for positive and '-' for negative, height rows tall.
+func RenderFig3(r Fig3Result, width, height int) string {
+	if width < 10 {
+		width = 72
+	}
+	if height < 5 {
+		height = 16
+	}
+	n := len(r.Affinities)
+	var minA, maxA int64 = 0, 1
+	for _, a := range r.Affinities {
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	span := float64(maxA - minA)
+	for e, a := range r.Affinities {
+		x := e * width / n
+		y := int(float64(height-1) * (1 - float64(a-minA)/span))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		ch := byte('+')
+		if a < 0 {
+			ch = '-'
+		}
+		grid[y][x] = ch
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s t=%dk: affinity in [%d, %d], %d/%d positive, trans freq %.5f\n",
+		r.Behavior, r.T/1000, minA, maxA, r.PositiveCount, n, r.TransFreq)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

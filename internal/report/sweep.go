@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// SweepPoint is one point of the working-set-size sweep: the paper's
+// central trade, measured on the canonical circular workload.
+type SweepPoint struct {
+	// Lines is the working-set size in cache lines.
+	Lines uint64
+	// Bytes is the same in bytes.
+	Bytes uint64
+	// Ratio is 4xL2-miss rate / 1-core L2-miss rate (< 1: migration
+	// removed misses).
+	Ratio float64
+	// InstrPerMigration is the migration interval (0 when none).
+	InstrPerMigration float64
+	// BreakEvenPmig is the §2.4 break-even (0 when undefined).
+	BreakEvenPmig float64
+}
+
+// SweepWorkingSet runs a circular working set of each given size (in
+// lines) through the 1-core and migration machines and reports the
+// trade at each point — the crossover structure behind Table 2: no
+// effect while the set fits one L2, a win while it fits the aggregate,
+// suppression beyond.
+func SweepWorkingSet(sizes []uint64, laps uint64, cores int) []SweepPoint {
+	var out []SweepPoint
+	for _, ws := range sizes {
+		refs := laps * ws
+		normal := machine.New(machine.NormalConfig())
+		trace.Drive(trace.NewCircular(ws), normal, refs, 6, 3)
+		mig := machine.New(machine.MigrationConfigN(cores))
+		trace.Drive(trace.NewCircular(ws), mig, refs, 6, 3)
+
+		p := SweepPoint{Lines: ws, Bytes: ws << 6}
+		nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)
+		mRate := float64(mig.Stats.L2Misses) / float64(mig.Stats.Instructions)
+		if nRate > 0 {
+			p.Ratio = mRate / nRate
+		}
+		if mig.Stats.Migrations > 0 {
+			p.InstrPerMigration = float64(mig.Stats.Instructions) / float64(mig.Stats.Migrations)
+			removed := nRate - mRate
+			migRate := float64(mig.Stats.Migrations) / float64(mig.Stats.Instructions)
+			p.BreakEvenPmig = removed / migRate
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// DefaultSweepSizes returns working-set sizes from 256 KB to 8 MB
+// (in lines), bracketing one L2, the 4-core aggregate, and beyond.
+func DefaultSweepSizes() []uint64 {
+	var sizes []uint64
+	for bytes := uint64(256 << 10); bytes <= 8<<20; bytes *= 2 {
+		sizes = append(sizes, bytes>>6)
+	}
+	return sizes
+}
+
+// FormatSweep renders the sweep as a text table.
+func FormatSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %8s %12s %14s\n", "working set", "ratio", "instr/mig", "breakeven Pmig")
+	for _, p := range points {
+		mig := "-"
+		be := "-"
+		if p.InstrPerMigration > 0 {
+			mig = fmt.Sprintf("%.0f", p.InstrPerMigration)
+			be = fmt.Sprintf("%.1f", p.BreakEvenPmig)
+		}
+		fmt.Fprintf(&b, "%9dK %8.3f %12s %14s\n", p.Bytes>>10, p.Ratio, mig, be)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package report
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/migration"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Table1Row is one line of the paper's Table 1: instruction count and
+// 16 KB fully-associative IL1/DL1 miss counts.
+type Table1Row struct {
+	Name     string
+	Suite    string
+	Instr    uint64
+	IL1Miss  uint64
+	DL1Miss  uint64
+	IFetches uint64
+	DataRefs uint64
+}
+
+// table1Sink filters the stream through the §4.1 16 KB fully-associative
+// LRU L1 pair and counts misses.
+type table1Sink struct {
+	il1, dl1 *cache.FullyAssoc
+	row      *Table1Row
+	shift    uint
+}
+
+func (t *table1Sink) Access(addr mem.Addr, kind mem.Kind) {
+	line := mem.LineOf(addr, t.shift)
+	if kind == mem.IFetch {
+		t.row.IFetches++
+		if _, ok := t.il1.Access(line); !ok {
+			t.row.IL1Miss++
+			t.il1.Insert(line, 0)
+		}
+		return
+	}
+	t.row.DataRefs++
+	if _, ok := t.dl1.Access(line); !ok {
+		t.row.DL1Miss++
+		t.dl1.Insert(line, 0)
+	}
+}
+
+func (t *table1Sink) Instr(n uint64) { t.row.Instr += n }
+
+// Table1 runs one workload through the Table 1 measurement.
+func Table1(w workloads.Workload, budget uint64) Table1Row {
+	row := Table1Row{Name: w.Name(), Suite: w.Suite()}
+	lines := (16 << 10) >> mem.DefaultLineShift
+	s := &table1Sink{
+		il1:   cache.NewFullyAssoc(lines),
+		dl1:   cache.NewFullyAssoc(lines),
+		row:   &row,
+		shift: mem.DefaultLineShift,
+	}
+	w.Run(s, budget)
+	return row
+}
+
+// Table2Row is one line of the paper's Table 2: instructions per event
+// for L1 misses, baseline L2 misses, migration-mode L2 misses ("4xL2"),
+// the miss ratio, and migrations.
+type Table2Row struct {
+	Name  string
+	Suite string
+
+	Normal   machine.Stats
+	Migrated machine.Stats
+
+	// Derived (per-instruction metrics, paper's presentation).
+	InstrPerL1Miss   float64
+	InstrPerL2Miss   float64
+	InstrPer4xL2Miss float64
+	Ratio            float64 // 4xL2 misses / baseline L2 misses (rate ratio; <1 = win)
+	InstrPerMig      float64
+	// BreakEvenPmig is §4.2's analysis: migration wins while
+	// Pmig < BreakEvenPmig (only meaningful when Ratio < 1).
+	BreakEvenPmig float64
+	HasMigrations bool
+}
+
+// Table2 runs one workload through both machine configurations.
+func Table2(w func() workloads.Workload, budget uint64) Table2Row {
+	wl := w()
+	normal := machine.New(machine.NormalConfig())
+	wl.Run(normal, budget)
+
+	wl2 := w()
+	mig := machine.New(machine.MigrationConfig())
+	wl2.Run(mig, budget)
+
+	row := Table2Row{
+		Name:     wl.Name(),
+		Suite:    wl.Suite(),
+		Normal:   normal.Stats,
+		Migrated: mig.Stats,
+	}
+	if v, ok := mig.Stats.PerInstr(mig.Stats.L1Misses()); ok {
+		row.InstrPerL1Miss = v
+	}
+	if v, ok := normal.Stats.PerInstr(normal.Stats.L2Misses); ok {
+		row.InstrPerL2Miss = v
+	}
+	if v, ok := mig.Stats.PerInstr(mig.Stats.L2Misses); ok {
+		row.InstrPer4xL2Miss = v
+	}
+	if v, ok := mig.Stats.PerInstr(mig.Stats.Migrations); ok {
+		row.InstrPerMig = v
+		row.HasMigrations = true
+	}
+	// ratio of miss rates = (4xL2 misses/instr) / (L2 misses/instr)
+	nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)
+	mRate := float64(mig.Stats.L2Misses) / float64(mig.Stats.Instructions)
+	if nRate > 0 {
+		row.Ratio = mRate / nRate
+	}
+	if be, ok := migration.MissesRemovedPerMigration(normal.Stats.Outcome(), mig.Stats.Outcome()); ok {
+		row.BreakEvenPmig = be
+	}
+	return row
+}
+
+// FormatTable1 renders rows in the paper's Table 1 layout (counts in
+// millions).
+func FormatTable1(rows []Table1Row) string {
+	t := stats.NewTable("benchmark", "instr(M)", "IL1 miss(M)", "DL1 miss(M)")
+	for _, r := range rows {
+		t.AddRow(r.Name, stats.Millions(r.Instr), stats.Millions(r.IL1Miss), stats.Millions(r.DL1Miss))
+	}
+	return t.String()
+}
+
+// FormatTable2 renders rows in the paper's Table 2 layout
+// (instructions per event; higher is better; ratio < 1 means migration
+// removed misses).
+func FormatTable2(rows []Table2Row) string {
+	t := stats.NewTable("benchmark", "L1 miss", "L2 miss", "4xL2 miss", "ratio", "migration", "breakeven Pmig")
+	for _, r := range rows {
+		mig := "-"
+		be := "-"
+		if r.HasMigrations {
+			mig = stats.SciNotation(r.InstrPerMig)
+			be = stats.Ratio(r.BreakEvenPmig, 1)
+		}
+		t.AddRow(r.Name,
+			stats.PerEvent(r.Migrated.Instructions, r.Migrated.L1Misses()),
+			stats.PerEvent(r.Normal.Instructions, r.Normal.L2Misses),
+			stats.PerEvent(r.Migrated.Instructions, r.Migrated.L2Misses),
+			stats.Ratio(r.Ratio, 1),
+			mig,
+			be,
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,117 @@
+// Package stats provides the small formatting and aggregation helpers
+// the experiment harnesses share: aligned text tables, the paper's
+// numeric styles (instructions-per-event, scientific notation like
+// "2.2 × 10^6"), and simple accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SciNotation renders a count the way the paper's Table 2 prints
+// migration intervals: "2.2e6" style with two significant digits.
+func SciNotation(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if v < 1000 {
+		return fmt.Sprintf("%.3g", v)
+	}
+	exp := int(math.Floor(math.Log10(v)))
+	mant := v / math.Pow10(exp)
+	// Rounding can push the mantissa to 10.0 (e.g. v = 1e6 computed as
+	// 9.9999...e5): renormalise so we print 1.0e6, not 10.0e5.
+	if mant >= 9.95 {
+		mant /= 10
+		exp++
+	}
+	return fmt.Sprintf("%.1fe%d", mant, exp)
+}
+
+// PerEvent renders instructions-per-event (Table 2's metric): integer
+// below 10^5, scientific above, "-" when the event never occurred.
+func PerEvent(instr, events uint64) string {
+	if events == 0 {
+		return "-"
+	}
+	v := float64(instr) / float64(events)
+	if v < 1e5 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return SciNotation(v)
+}
+
+// Millions renders a count in millions with two decimals (Table 1's
+// unit).
+func Millions(v uint64) string {
+	return fmt.Sprintf("%.2f", float64(v)/1e6)
+}
+
+// Table accumulates rows and renders an aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with right-aligned numeric-looking columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], c) // names left-aligned
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Ratio formats a/b with two decimals, "-" when undefined.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSciNotation(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{123, "123"},
+		{4500, "4.5e3"},
+		{2_200_000, "2.2e6"},
+		{200_000_000, "2.0e8"},
+	}
+	for _, c := range cases {
+		if got := SciNotation(c.v); got != c.want {
+			t.Errorf("SciNotation(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPerEvent(t *testing.T) {
+	if got := PerEvent(1000, 0); got != "-" {
+		t.Errorf("zero events: %q", got)
+	}
+	if got := PerEvent(1000, 10); got != "100" {
+		t.Errorf("PerEvent = %q", got)
+	}
+	if got := PerEvent(1_000_000_000, 2); got != "5.0e8" {
+		t.Errorf("big PerEvent = %q", got)
+	}
+}
+
+func TestMillions(t *testing.T) {
+	if got := Millions(15_410_000); got != "15.41" {
+		t.Errorf("Millions = %q", got)
+	}
+	if got := Millions(0); got != "0.00" {
+		t.Errorf("Millions(0) = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 0); got != "-" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+	if got := Ratio(2, 3); got != "0.67" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "12345")
+	tb.AddRow("padded") // short row: padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// all rows same width
+	w := len(lines[0])
+	for i, l := range lines {
+		if i == 1 {
+			continue // separator
+		}
+		if len(strings.TrimRight(l, " ")) > w+2 {
+			t.Fatalf("row %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(out, "a-much-longer-name") || !strings.Contains(out, "12345") {
+		t.Fatal("content lost")
+	}
+}
+
+func TestSciNotationRenormalises(t *testing.T) {
+	// Values whose floating-point log10 lands just under the integer
+	// must not print a 10.x mantissa.
+	for _, v := range []float64{1e6, 1e5, 999_999.9999, 1_000_000.0001} {
+		got := SciNotation(v)
+		if len(got) >= 2 && got[0] == '1' && got[1] == '0' {
+			t.Errorf("SciNotation(%v) = %q: mantissa not renormalised", v, got)
+		}
+	}
+	if got := SciNotation(1e6); got != "1.0e6" {
+		t.Errorf("SciNotation(1e6) = %q, want 1.0e6", got)
+	}
+}

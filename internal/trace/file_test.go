@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestTraceRoundTrip: record a mixed stream, replay it, require an exact
+// event-for-event match.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type event struct {
+		addr  mem.Addr
+		kind  mem.Kind
+		instr uint64
+	}
+	var want []event
+	rng := NewRNG(4)
+	for i := 0; i < 50_000; i++ {
+		switch rng.Uint64n(5) {
+		case 0:
+			n := rng.Uint64n(100) + 1
+			want = append(want, event{instr: n})
+			w.Instr(n)
+		default:
+			a := mem.Addr(rng.Uint64n(1 << 40))
+			k := mem.Kind(rng.Uint64n(4))
+			want = append(want, event{addr: a, kind: k})
+			w.Access(a, k)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != uint64(len(want)) {
+		t.Fatalf("writer events %d, want %d", w.Events(), len(want))
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []event
+	sink := struct{ mem.Sink }{}
+	_ = sink
+	n, err := r.Replay(sinkFunc{
+		access: func(a mem.Addr, k mem.Kind) { got = append(got, event{addr: a, kind: k}) },
+		instr:  func(n uint64) { got = append(got, event{instr: n}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(want)) || len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+type sinkFunc struct {
+	access func(mem.Addr, mem.Kind)
+	instr  func(uint64)
+}
+
+func (s sinkFunc) Access(a mem.Addr, k mem.Kind) { s.access(a, k) }
+func (s sinkFunc) Instr(n uint64)                { s.instr(n) }
+
+// TestTraceCompression: looping/strided streams must compress well
+// against raw 9-byte records.
+func TestTraceCompression(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	g := NewCircular(4000)
+	const refs = 100_000
+	for i := 0; i < refs; i++ {
+		w.Access(mem.AddrOf(mem.Line(g.Next()), 6), mem.Load)
+	}
+	w.Close()
+	perRef := float64(buf.Len()) / refs
+	if perRef > 3.2 { // 1 tag byte + 2-byte varint for the 64-byte delta
+		t.Fatalf("%.2f bytes per reference on a circular stream, want ≤ 3.2", perRef)
+	}
+}
+
+// TestTraceBadMagic: corrupt headers are rejected.
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestTraceTruncated: a truncated stream reports an error rather than
+// silently stopping inside a record.
+func TestTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Access(1<<30, mem.Load)
+	w.Access(1<<31, mem.Store)
+	w.Close()
+	raw := buf.Bytes()
+	// Cut inside the final record's varint.
+	cut := raw[:len(raw)-2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	_, err = r.Replay(sinkFunc{
+		access: func(mem.Addr, mem.Kind) { count++ },
+		instr:  func(uint64) {},
+	})
+	if err == nil && count != 2 {
+		t.Fatalf("truncated replay: %d events, err=%v", count, err)
+	}
+}
+
+// TestZigzag round-trips the delta encoding.
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63} {
+		if unzigzag(zigzag(d)) != d {
+			t.Fatalf("zigzag round trip failed for %d", d)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import "repro/internal/mem"
+
+// Generator produces an infinite stream of working-set element references.
+// Elements are abstract indices in [0, N); callers map them onto line
+// addresses as needed (the affinity algorithm operates on lines, so for
+// the Figure 3 experiments the element index IS the line number).
+type Generator interface {
+	// Next returns the next referenced element.
+	Next() uint64
+	// Size returns the number of distinct elements N in the working set,
+	// or 0 if unbounded.
+	Size() uint64
+}
+
+// Circular generates the paper's Circular behaviour: the infinite stream
+// 0,1,…,N−1, 0,1,…,N−1, … — the canonical "splittable" working set
+// (§3.3). Many real programs look like this after L1 filtering.
+type Circular struct {
+	N   uint64
+	pos uint64
+}
+
+// NewCircular returns a Circular generator over N elements.
+func NewCircular(n uint64) *Circular { return &Circular{N: n} }
+
+// Next implements Generator.
+func (c *Circular) Next() uint64 {
+	e := c.pos
+	c.pos++
+	if c.pos == c.N {
+		c.pos = 0
+	}
+	return e
+}
+
+// Size implements Generator.
+func (c *Circular) Size() uint64 { return c.N }
+
+// HalfRandom generates the paper's HalfRandom(m) behaviour: m uniform
+// picks from [0, N/2), then m uniform picks from [N/2, N), alternating
+// forever (§3.3). It is splittable (the two halves are the natural
+// subsets) but with no sequential predictability inside a half.
+type HalfRandom struct {
+	N, M uint64
+	rng  *RNG
+
+	remaining uint64 // picks left in the current half
+	lowerHalf bool   // which half we are currently drawing from
+}
+
+// NewHalfRandom returns a HalfRandom(m) generator over N elements, seeded
+// deterministically. N must be even and >= 2; m must be >= 1.
+func NewHalfRandom(n, m uint64, seed uint64) *HalfRandom {
+	if n < 2 || n%2 != 0 {
+		panic("trace: HalfRandom needs even N >= 2")
+	}
+	if m == 0 {
+		panic("trace: HalfRandom needs m >= 1")
+	}
+	return &HalfRandom{N: n, M: m, rng: NewRNG(seed), remaining: m, lowerHalf: true}
+}
+
+// Next implements Generator.
+func (h *HalfRandom) Next() uint64 {
+	if h.remaining == 0 {
+		h.remaining = h.M
+		h.lowerHalf = !h.lowerHalf
+	}
+	h.remaining--
+	half := h.N / 2
+	e := h.rng.Uint64n(half)
+	if !h.lowerHalf {
+		e += half
+	}
+	return e
+}
+
+// Size implements Generator.
+func (h *HalfRandom) Size() uint64 { return h.N }
+
+// Uniform generates uniformly random references over [0, N): the paper's
+// example of a working set with no splittability at all (§3.4) — however
+// it is split in two equal halves, the transition frequency is 1/2.
+type Uniform struct {
+	N   uint64
+	rng *RNG
+}
+
+// NewUniform returns a Uniform generator over N elements.
+func NewUniform(n uint64, seed uint64) *Uniform {
+	if n == 0 {
+		panic("trace: Uniform needs N >= 1")
+	}
+	return &Uniform{N: n, rng: NewRNG(seed)}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() uint64 { return u.rng.Uint64n(u.N) }
+
+// Size implements Generator.
+func (u *Uniform) Size() uint64 { return u.N }
+
+// Strided generates a constant-stride sweep over N elements: 0, s, 2s, …
+// modulo N. Constant-stride streams are called out in §3.5 as the
+// pathological case motivating the prime modulus in the sampling hash.
+type Strided struct {
+	N, Stride uint64
+	pos       uint64
+}
+
+// NewStrided returns a Strided generator.
+func NewStrided(n, stride uint64) *Strided {
+	if n == 0 || stride == 0 {
+		panic("trace: Strided needs N >= 1 and stride >= 1")
+	}
+	return &Strided{N: n, Stride: stride}
+}
+
+// Next implements Generator.
+func (s *Strided) Next() uint64 {
+	e := s.pos
+	s.pos = (s.pos + s.Stride) % s.N
+	return e
+}
+
+// Size implements Generator.
+func (s *Strided) Size() uint64 { return s.N }
+
+// Phased alternates between a list of sub-generators, running each for a
+// fixed number of references before moving to the next (round-robin).
+// It models programs with distinct phases — a splittability source the
+// paper's HalfRandom example abstracts.
+type Phased struct {
+	Gens      []Generator
+	PhaseLen  uint64
+	cur       int
+	remaining uint64
+}
+
+// NewPhased returns a Phased generator cycling through gens, phaseLen
+// references per phase.
+func NewPhased(phaseLen uint64, gens ...Generator) *Phased {
+	if len(gens) == 0 || phaseLen == 0 {
+		panic("trace: Phased needs at least one generator and phaseLen >= 1")
+	}
+	return &Phased{Gens: gens, PhaseLen: phaseLen, remaining: phaseLen}
+}
+
+// Next implements Generator.
+func (p *Phased) Next() uint64 {
+	if p.remaining == 0 {
+		p.remaining = p.PhaseLen
+		p.cur = (p.cur + 1) % len(p.Gens)
+	}
+	p.remaining--
+	return p.Gens[p.cur].Next()
+}
+
+// Size implements Generator. It returns the max of the sub-generator
+// sizes (phases are assumed to share one element namespace).
+func (p *Phased) Size() uint64 {
+	var n uint64
+	for _, g := range p.Gens {
+		if s := g.Size(); s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+// Offset shifts a generator's elements by a constant, letting phases
+// occupy disjoint element ranges.
+type Offset struct {
+	G     Generator
+	Delta uint64
+}
+
+// Next implements Generator.
+func (o Offset) Next() uint64 { return o.G.Next() + o.Delta }
+
+// Size implements Generator.
+func (o Offset) Size() uint64 { return o.G.Size() + o.Delta }
+
+// Drive pushes n references from g into sink as Load accesses of
+// consecutive lines (element e maps to line e, i.e. address e<<shift).
+// It charges instrPerRef instructions per reference, modelling the
+// filtered streams of the paper's §4.1 experiments.
+func Drive(g Generator, sink mem.Sink, n uint64, shift uint, instrPerRef uint64) {
+	for i := uint64(0); i < n; i++ {
+		e := g.Next()
+		sink.Access(mem.AddrOf(mem.Line(e), shift), mem.Load)
+		if instrPerRef > 0 {
+			sink.Instr(instrPerRef)
+		}
+	}
+}

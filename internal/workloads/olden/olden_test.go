@@ -1,0 +1,116 @@
+package olden
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// kindCounter tallies the stream by access kind.
+type kindCounter struct {
+	counts map[mem.Kind]uint64
+	lines  map[mem.Line]bool
+	instr  uint64
+}
+
+func newKindCounter() *kindCounter {
+	return &kindCounter{counts: map[mem.Kind]uint64{}, lines: map[mem.Line]bool{}}
+}
+
+func (k *kindCounter) Access(a mem.Addr, kind mem.Kind) {
+	k.counts[kind]++
+	if kind != mem.IFetch {
+		k.lines[mem.LineOf(a, 6)] = true
+	}
+}
+func (k *kindCounter) Instr(n uint64) { k.instr += n }
+
+// TestOldenKernelsTagPointerLoads: every Olden analogue traverses linked
+// structures, so a meaningful share of its loads must be tagged PtrLoad
+// (the §6 pointer-load filtering depends on this).
+func TestOldenKernelsTagPointerLoads(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() interface {
+			Run(mem.Sink, uint64)
+		}
+		minPtrFrac float64
+	}{
+		{"bh", func() interface{ Run(mem.Sink, uint64) } { return NewBh() }, 0.2},
+		{"bisort", func() interface{ Run(mem.Sink, uint64) } { return NewBisort() }, 0.2},
+		{"em3d", func() interface{ Run(mem.Sink, uint64) } { return NewEm3d() }, 0.2},
+		{"health", func() interface{ Run(mem.Sink, uint64) } { return NewHealth() }, 0.3},
+		{"mst", func() interface{ Run(mem.Sink, uint64) } { return NewMst() }, 0.2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := newKindCounter()
+			tc.mk().Run(k, 2_000_000)
+			ptr := k.counts[mem.PtrLoad]
+			all := ptr + k.counts[mem.Load]
+			if all == 0 {
+				t.Fatal("no loads at all")
+			}
+			if frac := float64(ptr) / float64(all); frac < tc.minPtrFrac {
+				t.Fatalf("pointer-load fraction %.3f below %.2f", frac, tc.minPtrFrac)
+			}
+		})
+	}
+}
+
+// TestBhFootprintFitsOneL2: the paper's bh premise — bodies + tree fit a
+// single 512 KB L2.
+func TestBhFootprintFitsOneL2(t *testing.T) {
+	k := newKindCounter()
+	NewBh().Run(k, 3_000_000)
+	if fp := len(k.lines) * 64; fp > 512<<10 {
+		t.Fatalf("bh data footprint %d KB exceeds 512 KB", fp>>10)
+	}
+}
+
+// TestEm3dFootprintBetweenOneAndFourL2s: em3d's premise.
+func TestEm3dFootprintBetweenOneAndFourL2s(t *testing.T) {
+	k := newKindCounter()
+	NewEm3d().Run(k, 3_000_000)
+	fp := len(k.lines) * 64
+	if fp < 512<<10 || fp > 2<<20 {
+		t.Fatalf("em3d data footprint %d KB outside (512KB, 2MB)", fp>>10)
+	}
+}
+
+// TestMstFootprintExceedsAggregate: mst's premise.
+func TestMstFootprintExceedsAggregate(t *testing.T) {
+	k := newKindCounter()
+	NewMst().Run(k, 6_000_000)
+	if fp := len(k.lines) * 64; fp < 4<<20 {
+		t.Fatalf("mst data footprint %d MB below 4 MB", fp>>20)
+	}
+}
+
+// TestHealthPopulationStable: health must reach and hold a steady-state
+// patient population — the working set must not collapse or explode
+// within a Table-2-scale run.
+func TestHealthPopulationStable(t *testing.T) {
+	k1 := newKindCounter()
+	NewHealth().Run(k1, 3_000_000)
+	k2 := newKindCounter()
+	NewHealth().Run(k2, 30_000_000)
+	fp1 := len(k1.lines) * 64
+	fp2 := len(k2.lines) * 64
+	if fp2 > 4*fp1 {
+		t.Fatalf("health working set explodes: %d KB → %d KB", fp1>>10, fp2>>10)
+	}
+	if fp2 < 512<<10 {
+		t.Fatalf("health working set collapsed to %d KB", fp2>>10)
+	}
+}
+
+// TestBisortStoresPresent: the bitonic sort swaps in place — the stream
+// must contain a meaningful store fraction.
+func TestBisortStoresPresent(t *testing.T) {
+	k := newKindCounter()
+	NewBisort().Run(k, 2_000_000)
+	loads := k.counts[mem.Load] + k.counts[mem.PtrLoad]
+	if k.counts[mem.Store]*20 < loads {
+		t.Fatalf("bisort: %d stores vs %d loads — swaps missing?", k.counts[mem.Store], loads)
+	}
+}

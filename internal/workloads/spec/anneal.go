@@ -1,0 +1,169 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// anneal implements a simulated-annealing standard-cell placer, the
+// kernel shared by 175.vpr (place) and 300.twolf: pick two random cells,
+// evaluate the wirelength delta of the nets they touch, accept or
+// reject. Cell and net records are hit in random order — the paper's
+// archetype of a working set with no splittability (it names vpr
+// explicitly in §3.4). The two benchmarks differ in footprint: vpr's
+// placement working set fits one 512 KB L2 (so baseline L2 misses are
+// rare and migration only hurts — Table 2 ratio 1.60), twolf's is
+// slightly over (ratio 1.00).
+type anneal struct {
+	workloads.Base
+	cells, nets, fanout int
+	seed                uint64
+}
+
+type placeCell struct {
+	x, y int32
+	nets []int32
+	_pad [4]int64
+}
+
+type placeNet struct {
+	cells []int32
+	bbox  [4]int32
+	_pad  [4]int64
+}
+
+// NewVpr returns the 175.vpr analogue: 2k cells + 3k nets ≈ 320 KB.
+func NewVpr() workloads.Workload {
+	return &anneal{
+		Base: workloads.Base{
+			WName:  "175.vpr",
+			WSuite: "spec2000",
+			WDesc:  "annealing placement; random probes of ~320KB netlist (fits one L2; no splittability)",
+		},
+		cells: 2 << 10, nets: 3 << 10, fanout: 4, seed: 175,
+	}
+}
+
+// NewTwolf returns the 300.twolf analogue: 6k cells + 9k nets ≈ 960 KB.
+func NewTwolf() workloads.Workload {
+	return &anneal{
+		Base: workloads.Base{
+			WName:  "300.twolf",
+			WSuite: "spec2000",
+			WDesc:  "annealing place+route; random probes of ~1MB netlist (exceeds one L2; no splittability)",
+		},
+		cells: 6 << 10, nets: 9 << 10, fanout: 4, seed: 300,
+	}
+}
+
+// Run implements workloads.Workload.
+func (w *anneal) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fTry := code.Func("try_swap", 1024)
+	fCost := code.Func("net_cost", 768)
+	fUpdate := code.Func("update_bb", 512)
+
+	const cellBytes, netBytes = 64, 64
+	data := sp.AddRegion("netlist", 1<<30)
+	cellAddr := data.Alloc(uint64(w.cells)*cellBytes, 64)
+	netAddr := data.Alloc(uint64(w.nets)*netBytes, 64)
+
+	rng := trace.NewRNG(w.seed)
+	cells := make([]placeCell, w.cells)
+	nets := make([]placeNet, w.nets)
+	grid := int32(256)
+	for i := range cells {
+		cells[i].x = int32(rng.Intn(int(grid)))
+		cells[i].y = int32(rng.Intn(int(grid)))
+	}
+	for n := range nets {
+		k := 2 + rng.Intn(w.fanout)
+		for j := 0; j < k; j++ {
+			c := int32(rng.Intn(w.cells))
+			nets[n].cells = append(nets[n].cells, c)
+			if len(cells[c].nets) < w.fanout+2 {
+				cells[c].nets = append(cells[c].nets, int32(n))
+			}
+		}
+	}
+
+	caddr := func(i int32) mem.Addr { return cellAddr + mem.Addr(int(i)*cellBytes) }
+	naddr := func(i int32) mem.Addr { return netAddr + mem.Addr(int(i)*netBytes) }
+
+	cpu := sim.NewCPU(sink)
+	cost := func(n int32) int64 {
+		cpu.Call(fCost, 4)
+		cpu.Load(naddr(n))
+		var minx, maxx, miny, maxy int32 = 1 << 30, -1, 1 << 30, -1
+		for _, c := range nets[n].cells {
+			cpu.Load(caddr(c))
+			cpu.Exec(6)
+			cl := &cells[c]
+			if cl.x < minx {
+				minx = cl.x
+			}
+			if cl.x > maxx {
+				maxx = cl.x
+			}
+			if cl.y < miny {
+				miny = cl.y
+			}
+			if cl.y > maxy {
+				maxy = cl.y
+			}
+		}
+		return int64(maxx-minx) + int64(maxy-miny)
+	}
+
+	temp := 1000.0
+	for cpu.Instrs < budget {
+		for iter := 0; iter < 4096; iter++ {
+			cpu.Enter(fTry)
+			a := int32(rng.Intn(w.cells))
+			b := int32(rng.Intn(w.cells))
+			cpu.Load(caddr(a))
+			cpu.Load(caddr(b))
+			cpu.Exec(12)
+
+			var before, after int64
+			for _, n := range cells[a].nets {
+				before += cost(n)
+			}
+			for _, n := range cells[b].nets {
+				before += cost(n)
+			}
+			cells[a].x, cells[b].x = cells[b].x, cells[a].x
+			cells[a].y, cells[b].y = cells[b].y, cells[a].y
+			for _, n := range cells[a].nets {
+				after += cost(n)
+			}
+			for _, n := range cells[b].nets {
+				after += cost(n)
+			}
+			accept := after <= before || rng.Float64() < temp/(temp+float64(after-before)+1)
+			if !accept {
+				cells[a].x, cells[b].x = cells[b].x, cells[a].x
+				cells[a].y, cells[b].y = cells[b].y, cells[a].y
+			} else {
+				cpu.Enter(fUpdate)
+				cpu.Store(caddr(a))
+				cpu.Store(caddr(b))
+				for _, n := range cells[a].nets {
+					cpu.Store(naddr(n))
+				}
+				for _, n := range cells[b].nets {
+					cpu.Store(naddr(n))
+				}
+				cpu.Exec(10)
+			}
+			cpu.Exec(8)
+		}
+		temp *= 0.98
+		if temp < 1 {
+			temp = 1000
+		}
+	}
+}

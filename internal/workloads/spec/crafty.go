@@ -1,0 +1,113 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Crafty is the 186.crafty analogue: alpha-beta game-tree search with a
+// transposition table. Crafty's signature in Table 1 is the largest
+// instruction-cache pressure of the whole suite (83.5M IL1 misses per
+// 1B instructions) with a small data working set that fits a single L2,
+// so migrations can only hurt slightly (Table 2 ratio 1.13).
+//
+// The kernel searches a deterministic pseudo-game: positions are Zobrist
+// hashes, move generation / evaluation / attack detection run in many
+// distinct code functions (≈400 KB footprint, short bursts per call),
+// and the transposition table (384 KB) takes random probes.
+type Crafty struct {
+	workloads.Base
+}
+
+// NewCrafty returns the default configuration.
+func NewCrafty() workloads.Workload {
+	return &Crafty{Base: workloads.Base{
+		WName:  "186.crafty",
+		WSuite: "spec2000",
+		WDesc:  "alpha-beta search; ~290KB code footprint, 192KB transposition table (fits one L2)",
+	}}
+}
+
+// Run implements workloads.Workload.
+func (w *Crafty) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(8 << 20)
+	// 192 helper functions of 1.5 KB ≈ 288 KB of code.
+	var fns []*sim.Func
+	for i := 0; i < 192; i++ {
+		fns = append(fns, code.Func("search_helper", 1536))
+	}
+	fSearch := code.Func("search", 2048)
+
+	data := sp.AddRegion("crafty", 1<<30)
+	const ttEntries = 12 << 10 // 12k × 16 B = 192 KB
+	ttAddr := data.Alloc(ttEntries*16, 64)
+	tt := make([]uint64, ttEntries)
+	boardAddr := data.Alloc(4096, 64) // board + history: hot, fits L1
+
+	rng := trace.NewRNG(186)
+	var zobrist [1024]uint64
+	for i := range zobrist {
+		zobrist[i] = rng.Uint64()
+	}
+
+	cpu := sim.NewCPU(sink)
+
+	// search explores the pseudo-game tree to the given depth.
+	var search func(h uint64, depth, alpha int) int
+	search = func(h uint64, depth, alpha int) int {
+		cpu.Enter(fSearch)
+		cpu.Load(boardAddr)
+		cpu.Exec(14)
+
+		// transposition probe
+		slot := h % ttEntries
+		cpu.Load(ttAddr + mem.Addr(slot*16))
+		cpu.Exec(6)
+		if tt[slot] == h {
+			return int(h & 0xff) // hash hit
+		}
+		if depth == 0 {
+			// evaluation: a handful of helper calls (attack maps, pawn
+			// structure, king safety) — the I-stream hops across the
+			// code footprint.
+			e := 0
+			for k := 0; k < 4; k++ {
+				cpu.Call(fns[int((h>>uint(8*k))%uint64(len(fns)))], 22)
+				e += int((h >> uint(8*k)) & 0x3f)
+			}
+			cpu.Store(boardAddr + 64)
+			return e - 32
+		}
+		// move generation
+		cpu.Call(fns[int(h%uint64(len(fns)))], 30)
+		nMoves := 3 + int(h%5)
+		best := -1 << 30
+		for mv := 0; mv < nMoves; mv++ {
+			// make move: update board + hash
+			nh := h ^ zobrist[(h>>uint(4*mv))&1023] ^ zobrist[mv*7&1023]
+			cpu.Store(boardAddr)
+			cpu.Call(fns[int((nh>>3)%uint64(len(fns)))], 12)
+			score := -search(nh, depth-1, -best)
+			if score > best {
+				best = score
+			}
+			if best > alpha+40 {
+				break // beta cutoff
+			}
+		}
+		// transposition store
+		tt[slot] = h
+		cpu.Store(ttAddr + mem.Addr(slot*16))
+		cpu.Exec(8)
+		return best
+	}
+
+	root := rng.Uint64()
+	for cpu.Instrs < budget {
+		search(root, 6, -1<<30)
+		root = root*6364136223846793005 + 1442695040888963407
+	}
+}

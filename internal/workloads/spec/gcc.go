@@ -1,0 +1,152 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Gcc is the 176.gcc analogue: an optimizing-compiler pass pipeline.
+// The defining features of gcc's reference stream are (1) an enormous
+// instruction footprint — Table 1 reports 41.6M IL1 misses, second only
+// to crafty — and (2) data processed function-by-function: each compiled
+// function's IR is walked by several passes in sequence before moving
+// on, giving a mild phase structure (Table 2 ratio 0.95, a small win).
+//
+// The kernel compiles a stream of synthetic functions: each gets a CFG
+// of basic blocks holding instruction lists; passes (CSE-ish hashing,
+// liveness-ish backward walk, scheduling-ish forward walk) traverse the
+// block graph. Pass code is spread over many simulated code functions so
+// the I-stream sweeps a ~300 KB footprint.
+type Gcc struct {
+	workloads.Base
+}
+
+// NewGcc returns the default configuration.
+func NewGcc() workloads.Workload {
+	return &Gcc{Base: workloads.Base{
+		WName:  "176.gcc",
+		WSuite: "spec2000",
+		WDesc:  "compiler pass pipeline; ~300KB code footprint, per-function IR walks (mild phases)",
+	}}
+}
+
+type gccInsn struct {
+	op, dst, src1, src2 int32
+	_pad                [6]int64
+}
+
+type gccBlock struct {
+	insns      []gccInsn
+	addr       mem.Addr
+	succ, pred []int32
+}
+
+// Run implements workloads.Workload.
+func (w *Gcc) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	// Large code footprint: 24 passes × 8 helper funcs × 1.5 KB ≈ 290 KB.
+	code := sp.NewCode(8 << 20)
+	var passFns [][]*sim.Func
+	for p := 0; p < 24; p++ {
+		var fns []*sim.Func
+		for h := 0; h < 8; h++ {
+			fns = append(fns, code.Func("pass", 1536))
+		}
+		passFns = append(passFns, fns)
+	}
+
+	data := sp.AddRegion("ir", 1<<32)
+	const insnBytes = 64
+	rng := trace.NewRNG(176)
+	cpu := sim.NewCPU(sink)
+	cpu.Enter(passFns[0][0])
+
+	hashAddr := data.Alloc(1<<18, 64) // 256 KB CSE hash table
+	hashTab := make([]int32, 1<<15)
+
+	// buildFunc creates one function's CFG: nb blocks of ~12 insns.
+	buildFunc := func() []*gccBlock {
+		nb := 8 + rng.Intn(48)
+		blocks := make([]*gccBlock, nb)
+		for i := range blocks {
+			ni := 4 + rng.Intn(20)
+			b := &gccBlock{
+				insns: make([]gccInsn, ni),
+				addr:  data.Alloc(uint64(ni)*insnBytes, 64),
+			}
+			for k := range b.insns {
+				b.insns[k] = gccInsn{
+					op:   int32(rng.Intn(64)),
+					dst:  int32(rng.Intn(32)),
+					src1: int32(rng.Intn(32)),
+					src2: int32(rng.Intn(32)),
+				}
+			}
+			blocks[i] = b
+		}
+		for i := range blocks {
+			s := (i + 1) % nb
+			blocks[i].succ = append(blocks[i].succ, int32(s))
+			blocks[s].pred = append(blocks[s].pred, int32(i))
+			if rng.Uint64n(3) == 0 {
+				t := int32(rng.Intn(nb))
+				blocks[i].succ = append(blocks[i].succ, t)
+				blocks[t].pred = append(blocks[t].pred, int32(i))
+			}
+		}
+		return blocks
+	}
+
+	// walk visits every instruction of every block in order, charging
+	// work in the given pass's helper functions (call-heavy I-stream).
+	walk := func(blocks []*gccBlock, fns []*sim.Func, backward bool, storeEvery int) {
+		order := blocks
+		for bi := range order {
+			b := order[bi]
+			if backward {
+				b = order[len(order)-1-bi]
+			}
+			cpu.Enter(fns[bi%len(fns)])
+			for k := range b.insns {
+				in := &b.insns[k]
+				cpu.Load(b.addr + mem.Addr(k*insnBytes))
+				// CSE-like hash probe
+				h := uint32(in.op*31+in.src1*7+in.src2) & (1<<15 - 1)
+				cpu.Load(hashAddr + mem.Addr(h*8))
+				if hashTab[h] == in.dst {
+					in.op = 0 // folded
+				} else {
+					hashTab[h] = in.dst
+					if storeEvery > 0 && k%storeEvery == 0 {
+						cpu.Store(hashAddr + mem.Addr(h*8))
+					}
+				}
+				// helper call: short burst in another code function
+				cpu.Call(fns[(bi+k)%len(fns)], 9)
+				cpu.Exec(7)
+			}
+			for range b.succ {
+				cpu.Exec(2)
+			}
+		}
+	}
+
+	for cpu.Instrs < budget {
+		// Compile one translation unit: build a file of functions, then
+		// run every pass over the whole file (the paper-relevant shape:
+		// each pass sweeps the file's IR in the same order, so the IR
+		// working set — a few hundred KB — is revisited cyclically).
+		const fileFuncs = 16
+		file := make([][]*gccBlock, fileFuncs)
+		for i := range file {
+			file[i] = buildFunc()
+		}
+		for p := range passFns {
+			for _, blocks := range file {
+				walk(blocks, passFns[p], p%3 == 1, 3+p%4)
+			}
+		}
+	}
+}

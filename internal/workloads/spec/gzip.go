@@ -1,0 +1,145 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Gzip is the 164.gzip analogue: LZ77 compression with hash-chained
+// match search over a 32 KB sliding window. Hash probes and chain walks
+// land at effectively random window offsets and the input itself merely
+// streams, so the L1-filtered stream is random-like — the paper calls
+// gzip out explicitly as having no splittability (§3.4, Table 2 ratio
+// 1.01).
+type Gzip struct {
+	workloads.Base
+}
+
+// NewGzip returns the default configuration.
+func NewGzip() workloads.Workload {
+	return &Gzip{Base: workloads.Base{
+		WName:  "164.gzip",
+		WSuite: "spec2000",
+		WDesc:  "LZ77 with hash chains; streaming input + random window probes (no splittability)",
+	}}
+}
+
+const (
+	gzWindow   = 32 << 10
+	gzHashSize = 1 << 15
+	gzChainLen = 8
+	gzBlock    = 64 << 10
+)
+
+// Run implements workloads.Workload.
+func (w *Gzip) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fDeflate := code.Func("deflate", 1536)
+	fLongest := code.Func("longest_match", 768)
+
+	data := sp.AddRegion("gzip", 1<<34)
+	headAddr := data.Alloc(gzHashSize*4, 64)
+	prevAddr := data.Alloc(gzWindow*4, 64)
+	// Input streams: a fresh simulated block address per block models the
+	// file flowing through the buffer cache.
+	outAddr := data.Alloc(1<<20, 64)
+
+	rng := trace.NewRNG(164)
+	head := make([]int32, gzHashSize)
+	prev := make([]int32, gzWindow)
+	window := make([]byte, gzWindow+gzBlock)
+	for i := range head {
+		head[i] = -1
+	}
+
+	// genBlock fills buf with compressible pseudo-text (Markov-ish:
+	// short repeated phrases).
+	phrases := make([][]byte, 64)
+	for i := range phrases {
+		p := make([]byte, 4+rng.Intn(12))
+		for j := range p {
+			p[j] = byte('a' + rng.Intn(26))
+		}
+		phrases[i] = p
+	}
+	genBlock := func(buf []byte) {
+		i := 0
+		for i < len(buf) {
+			p := phrases[rng.Intn(len(phrases))]
+			n := copy(buf[i:], p)
+			i += n
+		}
+	}
+
+	cpu := sim.NewCPU(sink)
+	hash := func(b []byte) uint32 {
+		return (uint32(b[0])<<10 ^ uint32(b[1])<<5 ^ uint32(b[2])) & (gzHashSize - 1)
+	}
+
+	outPos := 0
+	for cpu.Instrs < budget {
+		// New input block at a fresh streaming address.
+		inAddr := data.Alloc(gzBlock, 64)
+		genBlock(window[gzWindow:])
+		cpu.Enter(fDeflate)
+
+		pos := gzWindow
+		for pos < gzWindow+gzBlock-3 {
+			// read input (line-granular: one load per 64 new bytes)
+			if (pos-gzWindow)%64 == 0 {
+				cpu.Load(inAddr + mem.Addr(pos-gzWindow))
+			}
+			h := hash(window[pos : pos+3])
+			cpu.Load(headAddr + mem.Addr(h*4))
+			cand := head[h]
+			bestLen := 2
+			cpu.Enter(fLongest)
+			for c := 0; c < gzChainLen && cand >= 0; c++ {
+				// candidate bytes live in the window: random-offset load
+				cpu.Load(prevAddr + mem.Addr(cand&(gzWindow-1))*4)
+				wpos := int(cand) % gzWindow
+				l := 0
+				for l < 64 && wpos+l < gzWindow && pos+l < len(window) && window[wpos+l] == window[pos+l] {
+					l++
+				}
+				if l%8 == 0 {
+					cpu.Load(inAddr + mem.Addr((pos-gzWindow)&^63))
+				}
+				cpu.Exec(uint64(4 + l/4))
+				if l > bestLen {
+					bestLen = l
+				}
+				cand = prev[cand&(gzWindow-1)]
+			}
+			cpu.Enter(fDeflate)
+			// insert hash entries for the covered positions
+			adv := 1
+			if bestLen > 2 {
+				adv = bestLen
+			}
+			for k := 0; k < adv && pos+k < gzWindow+gzBlock-3; k++ {
+				hk := hash(window[pos+k : pos+k+3])
+				prev[(pos+k)&(gzWindow-1)] = head[hk]
+				head[hk] = int32((pos + k) & (gzWindow - 1))
+				if k%4 == 0 {
+					cpu.Store(headAddr + mem.Addr(hk*4))
+					cpu.Store(prevAddr + mem.Addr(((pos+k)&(gzWindow-1))*4))
+				}
+				cpu.Exec(3)
+			}
+			// emit output token
+			if outPos%64 == 0 {
+				cpu.Store(outAddr + mem.Addr(outPos%(1<<20)))
+			}
+			outPos += 2
+			pos += adv
+			cpu.Exec(6)
+		}
+		// slide window: copy block tail into window head
+		copy(window[:gzWindow], window[gzBlock:gzBlock+gzWindow])
+		cpu.Exec(2048)
+	}
+}

@@ -1,0 +1,100 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Parser is the 197.parser analogue: link-grammar-style sentence
+// parsing. Per word the kernel probes a ~1 MB dictionary hash (random),
+// chases disjunct lists, and fills a dynamic-programming chart that is
+// reused across sentences (hot). The mix of random dictionary probes
+// with a modest reused core gives the flat no-benefit profile of the
+// paper (Table 2 ratio 1.00).
+type Parser struct {
+	workloads.Base
+}
+
+// NewParser returns the default configuration.
+func NewParser() workloads.Workload {
+	return &Parser{Base: workloads.Base{
+		WName:  "197.parser",
+		WSuite: "spec2000",
+		WDesc:  "link-grammar parsing; random 1MB dictionary probes + reused DP chart (no splittability)",
+	}}
+}
+
+type parserEntry struct {
+	word      uint64
+	disjuncts []int32
+}
+
+// Run implements workloads.Workload.
+func (w *Parser) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fLookup := code.Func("dictionary_lookup", 768)
+	fMatch := code.Func("form_match_list", 1024)
+	fCount := code.Func("count", 768)
+
+	data := sp.AddRegion("parser", 1<<30)
+	const dictBuckets = 16 << 10
+	dictAddr := data.Alloc(dictBuckets*64, 64) // 1 MB bucket array
+	disjAddr := data.Alloc(512<<10, 64)        // 512 KB disjunct pool
+	const chartWords = 24
+	chartAddr := data.Alloc(chartWords*chartWords*64, 64) // 36 KB chart (hot)
+
+	rng := trace.NewRNG(197)
+	dict := make([]parserEntry, dictBuckets)
+	for i := range dict {
+		dict[i].word = rng.Uint64()
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			dict[i].disjuncts = append(dict[i].disjuncts, int32(rng.Uint64n(512<<10/64)))
+		}
+	}
+
+	cpu := sim.NewCPU(sink)
+	chart := make([]int32, chartWords*chartWords)
+
+	for cpu.Instrs < budget {
+		// One sentence of chartWords words.
+		var sentence [chartWords]int
+		cpu.Enter(fLookup)
+		for i := range sentence {
+			word := rng.Uint64n(dictBuckets)
+			sentence[i] = int(word)
+			// dictionary probe: random bucket + its disjunct lines
+			cpu.Load(dictAddr + mem.Addr(word*64))
+			cpu.Exec(11)
+			for _, d := range dict[word].disjuncts {
+				cpu.Load(disjAddr + mem.Addr(int(d)*64))
+				cpu.Exec(5)
+			}
+		}
+		// CYK-ish chart fill: O(n³) over the small reused chart.
+		cpu.Enter(fCount)
+		for span := 1; span < chartWords; span++ {
+			for lo := 0; lo+span < chartWords; lo++ {
+				hi := lo + span
+				var acc int32
+				for mid := lo; mid < hi; mid++ {
+					cpu.Load(chartAddr + mem.Addr((lo*chartWords+mid)*64))
+					acc += chart[lo*chartWords+mid] ^ chart[mid*chartWords+hi]
+					cpu.Exec(4)
+				}
+				// linkage test consults the two words' dictionary entries
+				if span%4 == 0 {
+					cpu.Call(fMatch, 8)
+					cpu.Load(dictAddr + mem.Addr(uint64(sentence[lo])*64))
+					cpu.Load(dictAddr + mem.Addr(uint64(sentence[hi])*64))
+				}
+				chart[lo*chartWords+hi] = acc + 1
+				cpu.Store(chartAddr + mem.Addr((lo*chartWords+hi)*64))
+				cpu.Exec(3)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// streamStats collects footprint and phase metrics from a kernel's
+// stream.
+type streamStats struct {
+	dataLines map[mem.Line]bool
+	codeLines map[mem.Line]bool
+	loads     uint64
+	stores    uint64
+	fetches   uint64
+	instr     uint64
+}
+
+func newStreamStats() *streamStats {
+	return &streamStats{dataLines: map[mem.Line]bool{}, codeLines: map[mem.Line]bool{}}
+}
+
+func (s *streamStats) Access(a mem.Addr, k mem.Kind) {
+	line := mem.LineOf(a, 6)
+	switch k {
+	case mem.IFetch:
+		s.fetches++
+		s.codeLines[line] = true
+	case mem.Store:
+		s.stores++
+		s.dataLines[line] = true
+	default:
+		s.loads++
+		s.dataLines[line] = true
+	}
+}
+func (s *streamStats) Instr(n uint64) { s.instr += n }
+
+func runKernel(t *testing.T, w workloads.Workload, budget uint64) *streamStats {
+	t.Helper()
+	s := newStreamStats()
+	w.Run(s, budget)
+	if s.instr < budget {
+		t.Fatalf("%s: only %d of %d instructions", w.Name(), s.instr, budget)
+	}
+	return s
+}
+
+// TestArtFootprint: two weight matrices ≈ 1.8 MB, tiny code.
+func TestArtFootprint(t *testing.T) {
+	s := runKernel(t, NewArt(), 3_000_000)
+	fp := len(s.dataLines) * 64
+	if fp < 1400<<10 || fp > 2200<<10 {
+		t.Fatalf("art footprint %d KB, want ≈1.8 MB", fp>>10)
+	}
+	if cb := len(s.codeLines) * 64; cb > 4<<10 {
+		t.Fatalf("art code footprint %d KB, want tiny", cb>>10)
+	}
+}
+
+// TestArtStoresBoundedByScan: art writes only the winner's row per
+// presentation — stores must be far rarer than loads.
+func TestArtStoresBoundedByScan(t *testing.T) {
+	s := runKernel(t, NewArt(), 3_000_000)
+	if s.stores*4 > s.loads {
+		t.Fatalf("art stores %d vs loads %d: update kernel dominating", s.stores, s.loads)
+	}
+}
+
+// TestMcfFootprint: nodes + arcs ≈ 2 MB.
+func TestMcfFootprint(t *testing.T) {
+	s := runKernel(t, NewMcf(), 5_000_000)
+	fp := len(s.dataLines) * 64
+	if fp < 1500<<10 || fp > 2600<<10 {
+		t.Fatalf("mcf footprint %d KB, want ≈2 MB", fp>>10)
+	}
+}
+
+// TestSwimFootprintHuge: the six grids ≈ 13 MB.
+func TestSwimFootprintHuge(t *testing.T) {
+	s := runKernel(t, NewSwim(), 8_000_000)
+	if fp := len(s.dataLines) * 64; fp < 10<<20 {
+		t.Fatalf("swim footprint %d MB, want > 10 MB", fp>>20)
+	}
+}
+
+// TestGzipStreams: gzip's input address space must keep advancing
+// (streaming blocks), with a bounded hot structure footprint.
+func TestGzipStreams(t *testing.T) {
+	s1 := runKernel(t, NewGzip(), 2_000_000)
+	s2 := runKernel(t, NewGzip(), 8_000_000)
+	// Streaming: footprint grows roughly with the budget.
+	if len(s2.dataLines) < len(s1.dataLines)*2 {
+		t.Fatalf("gzip input not streaming: %d → %d lines", len(s1.dataLines), len(s2.dataLines))
+	}
+}
+
+// TestCraftyCodePressure: crafty is the suite's I-cache stress: its
+// I-fetch line footprint must dwarf the 16 KB IL1 and its fetch stream
+// must touch many lines per instruction burst.
+func TestCraftyCodePressure(t *testing.T) {
+	s := runKernel(t, NewCrafty(), 3_000_000)
+	if cb := len(s.codeLines) * 64; cb < 128<<10 {
+		t.Fatalf("crafty code footprint %d KB, want > 128 KB", cb>>10)
+	}
+	// Table 1: crafty has ~1 IL1 miss per 12 instructions; a necessary
+	// condition is a dense fetch stream (≥ 1 line ref per 32 instr).
+	if s.fetches*32 < s.instr {
+		t.Fatalf("crafty fetch stream too sparse: %d fetches for %d instr", s.fetches, s.instr)
+	}
+}
+
+// TestVprVsTwolfFootprints: the two annealers differ only in scale, and
+// the scale is the point (vpr fits one L2, twolf does not).
+func TestVprVsTwolfFootprints(t *testing.T) {
+	vpr := runKernel(t, NewVpr(), 3_000_000)
+	twolf := runKernel(t, NewTwolf(), 3_000_000)
+	fv := len(vpr.dataLines) * 64
+	ft := len(twolf.dataLines) * 64
+	if fv > 512<<10 {
+		t.Fatalf("vpr footprint %d KB must fit one L2", fv>>10)
+	}
+	if ft < 512<<10 {
+		t.Fatalf("twolf footprint %d KB must exceed one L2", ft>>10)
+	}
+}
+
+// TestBzip2Phases: the three phases must alternate — watch the store
+// share swing across the run by sampling windows.
+func TestBzip2Phases(t *testing.T) {
+	type window struct{ loads, stores uint64 }
+	var wins []window
+	var cur window
+	var refs uint64
+	sink := mem.FuncSink(func(a mem.Addr, k mem.Kind) {
+		switch k {
+		case mem.Store:
+			cur.stores++
+		case mem.Load, mem.PtrLoad:
+			cur.loads++
+		default:
+			return
+		}
+		refs++
+		if refs%50_000 == 0 {
+			wins = append(wins, cur)
+			cur = window{}
+		}
+	})
+	NewBzip2().Run(struct{ mem.Sink }{sink}, 6_000_000)
+	if len(wins) < 6 {
+		t.Fatalf("only %d windows", len(wins))
+	}
+	// Store share must vary across windows (phase structure), not be flat.
+	var minS, maxS float64 = 1, 0
+	for _, w := range wins {
+		s := float64(w.stores) / float64(w.loads+w.stores+1)
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS < 0.1 {
+		t.Fatalf("bzip2 store share flat (%.2f..%.2f): phases missing", minS, maxS)
+	}
+}
+
+// TestParserChartReuse: the DP chart is reused across sentences — its
+// lines must be a tiny, stable fraction of the footprint while the
+// dictionary dominates.
+func TestParserChartReuse(t *testing.T) {
+	s := runKernel(t, NewParser(), 6_000_000)
+	fp := len(s.dataLines) * 64
+	// Random probes cover the 1MB dictionary slowly; 600KB-3MB covers
+	// the converging footprint at this budget.
+	if fp < 600<<10 || fp > 3<<20 {
+		t.Fatalf("parser footprint %d KB, want 0.6-3 MB (dictionary + disjuncts)", fp>>10)
+	}
+}
+
+// TestGccWalksRepeatedly: one translation unit's IR is walked by every
+// pass — loads must exceed the distinct-line footprint many times over
+// (reuse), unlike a pure streaming kernel.
+func TestGccWalksRepeatedly(t *testing.T) {
+	s := runKernel(t, NewGcc(), 4_000_000)
+	if s.loads < uint64(len(s.dataLines))*5 {
+		t.Fatalf("gcc reuse too low: %d loads over %d lines", s.loads, len(s.dataLines))
+	}
+	if cb := len(s.codeLines) * 64; cb < 128<<10 {
+		t.Fatalf("gcc code footprint %d KB, want > 128 KB", cb>>10)
+	}
+}
+
+// TestAmmpNeighbourLocality: most neighbour loads are near the sweeping
+// atom, so the per-step stream is near-circular — verified through
+// footprint vs budget stability.
+func TestAmmpNeighbourLocality(t *testing.T) {
+	s1 := runKernel(t, NewAmmp(), 3_000_000)
+	s2 := runKernel(t, NewAmmp(), 9_000_000)
+	if len(s2.dataLines) > len(s1.dataLines)*11/10 {
+		t.Fatalf("ammp working set grows with budget: %d → %d lines (should be fixed)",
+			len(s1.dataLines), len(s2.dataLines))
+	}
+}
+
+// TestVortexTransactionsMix: inserts, lookups and deletes all occur
+// (stores and loads both present in volume).
+func TestVortexTransactionsMix(t *testing.T) {
+	s := runKernel(t, NewVortex(), 3_000_000)
+	if s.stores == 0 || s.loads == 0 {
+		t.Fatal("vortex degenerate mix")
+	}
+	if s.stores > s.loads*2 || s.loads > s.stores*50 {
+		t.Fatalf("vortex mix implausible: %d loads, %d stores", s.loads, s.stores)
+	}
+}
+
+// TestMgridLevels: the V-cycle touches all grid levels — footprint must
+// exceed the fine grid alone (80³×8 ≈ 4.1 MB).
+func TestMgridLevels(t *testing.T) {
+	s := runKernel(t, NewMgrid(), 8_000_000)
+	if fp := len(s.dataLines) * 64; fp < 4<<20 {
+		t.Fatalf("mgrid footprint %d MB, want > 4 MB (all levels)", fp>>20)
+	}
+}

@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Swim is the 171.swim analogue: the shallow-water finite-difference
+// model. Each timestep sweeps several 2-D grids with 9-point stencils —
+// circular traversal, but of a working set (~13 MB) far beyond the
+// 2 MB aggregate L2, so migration cannot help (Table 2 ratio 1.00; the
+// small affinity cache suppresses migrations, §4.2).
+type Swim struct {
+	workloads.Base
+	n int // grid edge
+}
+
+// NewSwim returns the default configuration: 6 grids of 525×525 float64
+// ≈ 13.2 MB.
+func NewSwim() workloads.Workload {
+	return &Swim{
+		Base: workloads.Base{
+			WName:  "171.swim",
+			WSuite: "spec2000",
+			WDesc:  "shallow-water stencil; cyclic sweeps of ~13MB grids (working set exceeds 4xL2)",
+		},
+		n: 525,
+	}
+}
+
+// Run implements workloads.Workload.
+func (w *Swim) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(1 << 20)
+	fCalc1 := code.Func("calc1", 1024)
+	fCalc2 := code.Func("calc2", 1024)
+	fCalc3 := code.Func("calc3", 768)
+
+	n := w.n
+	cells := n * n
+	data := sp.AddRegion("grids", 1<<30)
+	addrOf := make([]mem.Addr, 6)
+	grids := make([][]float64, 6)
+	for g := 0; g < 6; g++ {
+		addrOf[g] = data.Alloc(uint64(cells)*8, 64)
+		grids[g] = make([]float64, cells)
+		for i := range grids[g] {
+			grids[g][i] = float64(i%97) * 0.013
+		}
+	}
+	u, v, p, unew, vnew, pnew := grids[0], grids[1], grids[2], grids[3], grids[4], grids[5]
+	au, av, ap, aunew, avnew, apnew := addrOf[0], addrOf[1], addrOf[2], addrOf[3], addrOf[4], addrOf[5]
+
+	at := func(base mem.Addr, idx int) mem.Addr { return base + mem.Addr(idx*8) }
+	cpu := sim.NewCPU(sink)
+
+	// stencil sweep helper: reads three source grids around (i,j), writes
+	// one destination; loads are emitted once per line (8 columns).
+	sweep := func(dst []float64, dstA mem.Addr, s1, s2, s3 []float64, a1, a2, a3 mem.Addr, f *sim.Func) {
+		cpu.Enter(f)
+		for i := 1; i < n-1; i++ {
+			row := i * n
+			for j := 1; j < n-1; j++ {
+				idx := row + j
+				if j%8 == 1 {
+					cpu.Load(at(a1, idx))
+					cpu.Load(at(a2, idx))
+					cpu.Load(at(a3, idx))
+					cpu.Load(at(a1, idx-n)) // stencil row above
+					cpu.Load(at(a1, idx+n)) // stencil row below
+					cpu.Store(at(dstA, idx))
+				}
+				dst[idx] = 0.25*(s1[idx-1]+s1[idx+1]+s1[idx-n]+s1[idx+n]) +
+					0.5*s2[idx] - 0.1*s3[idx]
+				cpu.Exec(3)
+			}
+		}
+	}
+
+	for cpu.Instrs < budget {
+		sweep(unew, aunew, u, v, p, au, av, ap, fCalc1)
+		sweep(vnew, avnew, v, p, u, av, ap, au, fCalc2)
+		sweep(pnew, apnew, p, u, v, ap, au, av, fCalc3)
+		u, unew = unew, u
+		v, vnew = vnew, v
+		p, pnew = pnew, p
+		au, aunew = aunew, au
+		av, avnew = avnew, av
+		ap, apnew = apnew, ap
+	}
+}

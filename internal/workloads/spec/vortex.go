@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Vortex is the 255.vortex analogue: an object-oriented in-memory
+// database running insert / lookup / delete transactions against indexed
+// object stores. Vortex pairs a large instruction footprint (41.8M IL1
+// misses in Table 1) with a data working set that mostly fits one L2,
+// so the paper reports a slight migration penalty (Table 2 ratio 1.10).
+type Vortex struct {
+	workloads.Base
+}
+
+// NewVortex returns the default configuration: three "portfolios" of
+// 2k objects each (~600 KB with their index) and a ~300 KB code
+// footprint.
+func NewVortex() workloads.Workload {
+	return &Vortex{Base: workloads.Base{
+		WName:  "255.vortex",
+		WSuite: "spec2000",
+		WDesc:  "OO database transactions; ~600KB objects+index, ~300KB code (fits one L2)",
+	}}
+}
+
+type vortexObj struct {
+	key     uint64
+	payload [10]uint64
+	live    bool
+}
+
+// Run implements workloads.Workload.
+func (w *Vortex) Run(sink mem.Sink, budget uint64) {
+	sp := sim.NewSpace()
+	code := sp.NewCode(8 << 20)
+	var fns []*sim.Func
+	for i := 0; i < 192; i++ { // 192 × 1.5 KB ≈ 288 KB
+		fns = append(fns, code.Func("vortex_method", 1536))
+	}
+
+	const dbs = 3
+	const objsPer = 2048
+	const objBytes = 128
+	const idxBuckets = 4096
+
+	data := sp.AddRegion("vortex", 1<<30)
+	var objAddr, idxAddr [dbs]mem.Addr
+	var objs [dbs][]vortexObj
+	var idx [dbs][]int32
+	for d := 0; d < dbs; d++ {
+		objAddr[d] = data.Alloc(objsPer*objBytes, 64)
+		idxAddr[d] = data.Alloc(idxBuckets*8, 64)
+		objs[d] = make([]vortexObj, objsPer)
+		idx[d] = make([]int32, idxBuckets)
+		for i := range idx[d] {
+			idx[d][i] = -1
+		}
+	}
+
+	rng := trace.NewRNG(255)
+	cpu := sim.NewCPU(sink)
+	next := [dbs]int{}
+
+	oaddr := func(d, i int) mem.Addr { return objAddr[d] + mem.Addr(i*objBytes) }
+	iaddr := func(d int, b uint64) mem.Addr { return idxAddr[d] + mem.Addr(b*8) }
+
+	for cpu.Instrs < budget {
+		d := int(rng.Uint64n(dbs))
+		op := rng.Uint64n(10)
+		key := rng.Uint64()
+		bucket := key % idxBuckets
+		cpu.Enter(fns[int(key%uint64(len(fns)))])
+		cpu.Exec(18)
+		cpu.Load(iaddr(d, bucket))
+
+		switch {
+		case op < 4: // insert
+			i := next[d] % objsPer
+			next[d]++
+			objs[d][i] = vortexObj{key: key, live: true}
+			for f := 0; f < 10; f++ {
+				objs[d][i].payload[f] = key * uint64(f+1)
+			}
+			cpu.Store(oaddr(d, i))
+			cpu.Store(oaddr(d, i) + 64)
+			idx[d][bucket] = int32(i)
+			cpu.Store(iaddr(d, bucket))
+			// constructor chain: several method calls
+			for k := 0; k < 3; k++ {
+				cpu.Call(fns[(int(key&0xffff)+k*17)%len(fns)], 15)
+			}
+		case op < 9: // lookup + touch
+			i := idx[d][bucket]
+			if i >= 0 {
+				cpu.Load(oaddr(d, int(i)))
+				cpu.Load(oaddr(d, int(i)) + 64)
+				cpu.Exec(9)
+				if objs[d][i].live {
+					// visitor chain over the payload
+					var acc uint64
+					for f := 0; f < 10; f++ {
+						acc ^= objs[d][i].payload[f]
+					}
+					cpu.Call(fns[int(acc%uint64(len(fns)))], 20)
+				}
+			}
+		default: // delete
+			i := idx[d][bucket]
+			if i >= 0 {
+				objs[d][i].live = false
+				cpu.Store(oaddr(d, int(i)))
+				idx[d][bucket] = -1
+				cpu.Store(iaddr(d, bucket))
+				cpu.Call(fns[int(bucket%uint64(len(fns)))], 12)
+			}
+		}
+		cpu.Exec(10)
+	}
+}

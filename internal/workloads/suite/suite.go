@@ -1,0 +1,37 @@
+// Package suite assembles the full benchmark registry: the 13 SPEC
+// CPU2000 analogues and the 5 Olden benchmarks of the paper's Table 1.
+package suite
+
+import (
+	"repro/internal/workloads"
+	"repro/internal/workloads/olden"
+	"repro/internal/workloads/spec"
+)
+
+// Registry returns a registry holding all 18 workloads in the paper's
+// Table 1 order (SPEC by number, then Olden alphabetically).
+func Registry() *workloads.Registry {
+	r := workloads.NewRegistry()
+	r.Register("164.gzip", spec.NewGzip)
+	r.Register("171.swim", spec.NewSwim)
+	r.Register("172.mgrid", spec.NewMgrid)
+	r.Register("175.vpr", spec.NewVpr)
+	r.Register("176.gcc", spec.NewGcc)
+	r.Register("179.art", spec.NewArt)
+	r.Register("181.mcf", spec.NewMcf)
+	r.Register("186.crafty", spec.NewCrafty)
+	r.Register("188.ammp", spec.NewAmmp)
+	r.Register("197.parser", spec.NewParser)
+	r.Register("255.vortex", spec.NewVortex)
+	r.Register("256.bzip2", spec.NewBzip2)
+	r.Register("300.twolf", spec.NewTwolf)
+	r.Register("bh", olden.NewBh)
+	r.Register("bisort", olden.NewBisort)
+	r.Register("em3d", olden.NewEm3d)
+	r.Register("health", olden.NewHealth)
+	r.Register("mst", olden.NewMst)
+	return r
+}
+
+// Names returns all 18 workload names in canonical order.
+func Names() []string { return Registry().Names() }

@@ -1,0 +1,54 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestAllWorkloadsRun smoke-tests every workload: it must run to its
+// budget, emit a plausible reference mix, and stay deterministic across
+// two runs.
+func TestAllWorkloadsRun(t *testing.T) {
+	r := Registry()
+	names := r.Names()
+	if len(names) != 18 {
+		t.Fatalf("registry has %d workloads, want 18", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func() (mem.CountingSink, mem.Addr) {
+				w, err := r.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var last mem.Addr
+				cs := mem.CountingSink{Inner: mem.FuncSink(func(a mem.Addr, k mem.Kind) { last ^= a })}
+				w.Run(&cs, 2_000_000)
+				return cs, last
+			}
+			c1, h1 := run()
+			if c1.Instructions < 2_000_000 {
+				t.Fatalf("only %d instructions accounted", c1.Instructions)
+			}
+			if c1.Instructions > 40_000_000 {
+				t.Fatalf("budget overshoot: %d instructions for 2M budget", c1.Instructions)
+			}
+			if c1.Loads == 0 || c1.Fetches == 0 {
+				t.Fatalf("degenerate stream: %+v", c1)
+			}
+			refsPerKInstr := float64(c1.Loads+c1.Stores) / float64(c1.Instructions) * 1000
+			if refsPerKInstr < 20 || refsPerKInstr > 800 {
+				t.Errorf("data refs per 1000 instructions = %.0f, outside plausible [20,800]", refsPerKInstr)
+			}
+			c2, h2 := run()
+			same := c1.Instructions == c2.Instructions && c1.Fetches == c2.Fetches &&
+				c1.Loads == c2.Loads && c1.Stores == c2.Stores && h1 == h2
+			if !same {
+				t.Errorf("non-deterministic: run1=%+v run2=%+v", c1, c2)
+			}
+		})
+	}
+}
