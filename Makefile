@@ -3,9 +3,22 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench short results clean
+.PHONY: all build test vet bench short check fuzz results clean
 
 all: build vet test
+
+# The full pre-merge gate: static checks, the whole test suite under the
+# race detector, and a short fuzz smoke over the trace reader.
+check: build vet
+	$(GO) test -race ./...
+	$(MAKE) fuzz
+
+# Short fuzzing smoke: arbitrary bytes through the trace reader must
+# produce a typed error or a clean replay, never a panic. Extend
+# FUZZTIME for a real fuzzing session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/trace
 
 build:
 	$(GO) build ./...

@@ -153,7 +153,7 @@ func BenchmarkMcfBreakEven(b *testing.B) {
 func runMigrationMachine(mc migration.Config, refs uint64) machine.Stats {
 	cfg := machine.MigrationConfig()
 	cfg.Migration = &mc
-	m := machine.New(cfg)
+	m := machine.MustNew(cfg)
 	trace.Drive(trace.NewCircular(24<<10), m, refs, 6, 3)
 	return m.Stats
 }
@@ -168,7 +168,7 @@ func runMigrationMachine(mc migration.Config, refs uint64) machine.Stats {
 func BenchmarkAblationL2Filtering(b *testing.B) {
 	gens := map[string]func() trace.Generator{
 		// 256 KB random working set: fits one 512 KB L2.
-		"random-fits-L2": func() trace.Generator { return trace.NewUniform(4<<10, 5) },
+		"random-fits-L2": func() trace.Generator { return trace.Must(trace.NewUniform(4<<10, 5)) },
 		// 1.5 MB circular working set: the migration win case.
 		"circular-1.5MB": func() trace.Generator { return trace.NewCircular(24 << 10) },
 	}
@@ -185,7 +185,7 @@ func BenchmarkAblationL2Filtering(b *testing.B) {
 					mc.NoL2Filtering = !filtering
 					cfg := machine.MigrationConfig()
 					cfg.Migration = &mc
-					m := machine.New(cfg)
+					m := machine.MustNew(cfg)
 					trace.Drive(mk(), m, 1_200_000, 6, 3)
 					s = m.Stats
 				}
@@ -244,9 +244,9 @@ func BenchmarkAblationSkewedL2(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := machine.NormalConfig()
 				cfg.L2 = cache.GeometryFor(512<<10, 6, 4, skewed)
-				m := machine.New(cfg)
+				m := machine.MustNew(cfg)
 				// Power-of-two strided working set: the skew's target.
-				trace.Drive(trace.NewStrided(64<<10, 2048), m, 600_000, 6, 3)
+				trace.Drive(trace.Must(trace.NewStrided(64<<10, 2048)), m, 600_000, 6, 3)
 				misses = m.Stats.L2Misses
 			}
 			b.ReportMetric(float64(misses), "L2misses")
@@ -297,7 +297,7 @@ func BenchmarkAffinityRef(b *testing.B) {
 // BenchmarkMachineAccess measures the end-to-end cost of one reference
 // through the 4-core machine.
 func BenchmarkMachineAccess(b *testing.B) {
-	m := machine.New(machine.MigrationConfig())
+	m := machine.MustNew(machine.MigrationConfig())
 	g := trace.NewCircular(24 << 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -320,7 +320,7 @@ func BenchmarkExtensionCoreScaling(b *testing.B) {
 				} else {
 					cfg = machine.MigrationConfigN(cores)
 				}
-				m := machine.New(cfg)
+				m := machine.MustNew(cfg)
 				trace.Drive(trace.NewCircular(ws), m, 40*ws, 6, 3)
 				s = m.Stats
 			}
@@ -349,7 +349,7 @@ func BenchmarkExtensionPrefetchInteraction(b *testing.B) {
 						pfc := prefetch.Default()
 						cfg.Prefetch = &pfc
 					}
-					m := machine.New(cfg)
+					m := machine.MustNew(cfg)
 					trace.Drive(trace.NewCircular(ws), m, 20*ws, 6, 3)
 					s = m.Stats
 				}
@@ -373,11 +373,11 @@ func BenchmarkExtensionPointerLoadFiltering(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var s machine.Stats
 			for i := 0; i < b.N; i++ {
-				mc := migration.ConfigForCores(4)
+				mc := migration.MustConfigForCores(4)
 				mc.PointerLoadsOnly = ptrOnly
 				cfg := machine.MigrationConfigN(4)
 				cfg.Migration = &mc
-				m := machine.New(cfg)
+				m := machine.MustNew(cfg)
 				w, err := reg.New("health")
 				if err != nil {
 					b.Fatal(err)

@@ -9,16 +9,22 @@
 //	emsim -cores 8                       # §6 scaling extension
 //	emsim -record mcf.trace              # record instead of simulating
 //	emsim -replay mcf.trace              # drive the machines from a trace
+//	emsim -checkpoint run.ckpt -checkpoint-every 1000000
+//	emsim -resume run.ckpt               # continue an interrupted run
 //	emsim -list
+//
+// A SIGINT (ctrl-C) mid-run stops the simulation at the next event,
+// writes a final checkpoint when -checkpoint is set, and prints the
+// partial report; a second SIGINT kills the process immediately.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
 
-	"repro/internal/machine"
-	"repro/internal/mem"
 	"repro/internal/migration"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -27,14 +33,22 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "179.art", "workload name")
-		instr  = flag.Uint64("instr", 20_000_000, "instruction budget")
-		cores  = flag.Int("cores", 4, "cores in the migration configuration (2, 4 or 8)")
-		record = flag.String("record", "", "record the workload's reference stream to this file and exit")
-		replay = flag.String("replay", "", "replay a recorded trace instead of running the workload")
-		list   = flag.Bool("list", false, "list available workloads")
+		name      = flag.String("workload", "179.art", "workload name")
+		instr     = flag.Uint64("instr", 20_000_000, "instruction budget")
+		cores     = flag.Int("cores", 4, "cores in the migration configuration (2, 4 or 8)")
+		record    = flag.String("record", "", "record the workload's reference stream to this file and exit")
+		replay    = flag.String("replay", "", "replay a recorded trace instead of running the workload")
+		ckpt      = flag.String("checkpoint", "", "write checkpoints to this file (periodically with -checkpoint-every, and on SIGINT)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "events between periodic checkpoints (0 = only on interrupt)")
+		resume    = flag.String("resume", "", "resume from this checkpoint file (run parameters come from the checkpoint)")
+		list      = flag.Bool("list", false, "list available workloads")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	reg := suite.Registry()
 	if *list {
@@ -45,9 +59,26 @@ func main() {
 		return
 	}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Reject bad flag combinations before any work happens.
+	if *record != "" && *replay != "" {
+		fail(fmt.Errorf("emsim: -record and -replay are mutually exclusive"))
+	}
+	if *record != "" && *resume != "" {
+		fail(fmt.Errorf("emsim: -record and -resume are mutually exclusive"))
+	}
+	p := runParams{
+		Workload:        *name,
+		Instr:           *instr,
+		Cores:           *cores,
+		Replay:          *replay,
+		Checkpoint:      *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+	}
+	if *resume == "" {
+		if err := p.validate(); err != nil {
+			fail(err)
+		}
 	}
 
 	if *record != "" {
@@ -74,40 +105,58 @@ func main() {
 		return
 	}
 
-	drive := func(sink mem.Sink) {
-		if *replay != "" {
-			f, err := os.Open(*replay)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			tr, err := trace.NewReader(f)
-			if err != nil {
-				fail(err)
-			}
-			if _, err := tr.Replay(sink); err != nil {
-				fail(err)
-			}
-			return
-		}
-		w, err := reg.New(*name)
-		if err != nil {
-			fail(err)
-		}
-		w.Run(sink, *instr)
+	// First SIGINT requests a graceful stop (checkpoint + partial
+	// report); a second one falls through to the default handler.
+	var stop atomic.Bool
+	p.stop = &stop
+	watchInterrupt(&stop)
+
+	res, err := run(&p)
+	if err != nil {
+		fail(err)
+	}
+	report(p, res)
+	if res.Interrupted {
+		os.Exit(130) // conventional exit code for SIGINT-terminated work
+	}
+}
+
+// watchInterrupt arms the graceful-stop handler: the first SIGINT sets
+// stop (the run aborts at the next event boundary), then unregisters so
+// a second SIGINT terminates the process the default way.
+func watchInterrupt(stop *atomic.Bool) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		stop.Store(true)
+		signal.Stop(sigc)
+		fmt.Fprintln(os.Stderr, "emsim: interrupt received, stopping at next event (interrupt again to kill)")
+	}()
+}
+
+// report prints the event-count comparison. For an interrupted run it is
+// the partial report over the events consumed so far.
+func report(p runParams, res *runResult) {
+	normal, mig := res.Normal, res.Mig
+
+	switch {
+	case res.Interrupted && p.Checkpoint != "":
+		fmt.Printf("INTERRUPTED after %d events — checkpoint saved to %s; resume with -resume %s\n\n",
+			res.Events, p.Checkpoint, p.Checkpoint)
+	case res.Interrupted:
+		fmt.Printf("INTERRUPTED after %d events — partial results (no -checkpoint given, not resumable)\n\n", res.Events)
+	}
+	if res.Resumed > 0 {
+		fmt.Printf("resumed from %s at event %d\n\n", p.Resume, res.Resumed)
 	}
 
-	run := func(cfg machine.Config) machine.Stats {
-		m := machine.New(cfg)
-		drive(m)
-		return m.Stats
+	source := p.Workload
+	if p.Replay != "" {
+		source = "trace " + p.Replay
 	}
-
-	normal := run(machine.NormalConfig())
-	mig := run(machine.MigrationConfigN(*cores))
-
-	fmt.Printf("workload %s, %d instructions\n\n", *name, mig.Instructions)
-	t := stats.NewTable("metric", "1-core", fmt.Sprintf("%d-core+migration", *cores))
+	fmt.Printf("workload %s, %d instructions\n\n", source, mig.Instructions)
+	t := stats.NewTable("metric", "1-core", fmt.Sprintf("%d-core+migration", p.Cores))
 	row := func(label string, a, b uint64) { t.AddRow(label, fmt.Sprint(a), fmt.Sprint(b)) }
 	row("instructions", normal.Instructions, mig.Instructions)
 	row("ifetches", normal.IFetches, mig.IFetches)
@@ -124,17 +173,23 @@ func main() {
 	row("migrations", normal.Migrations, mig.Migrations)
 	row("update-bus bytes", normal.UpdateBusBytes, mig.UpdateBusBytes)
 	row("L1 broadcast bytes", normal.L1BroadcastBytes, mig.L1BroadcastBytes)
+	if mig.AffinityTableDropped > 0 {
+		row("affinity entries dropped", normal.AffinityTableDropped, mig.AffinityTableDropped)
+	}
 	fmt.Println(t.String())
 
 	fmt.Printf("instructions per L1 miss:    %s\n", stats.PerEvent(mig.Instructions, mig.L1Misses()))
-	fmt.Printf("instructions per L2 miss:    %s (1-core), %s (4-core)\n",
+	fmt.Printf("instructions per L2 miss:    %s (1-core), %s (%d-core)\n",
 		stats.PerEvent(normal.Instructions, normal.L2Misses),
-		stats.PerEvent(mig.Instructions, mig.L2Misses))
+		stats.PerEvent(mig.Instructions, mig.L2Misses), p.Cores)
 	fmt.Printf("instructions per migration:  %s\n", stats.PerEvent(mig.Instructions, mig.Migrations))
 
+	if normal.Instructions == 0 || mig.Instructions == 0 {
+		return
+	}
 	nRate := float64(normal.L2Misses) / float64(normal.Instructions)
 	mRate := float64(mig.L2Misses) / float64(mig.Instructions)
-	fmt.Printf("L2 miss ratio (4xL2 / L2):   %s  (<1 means migration removed misses)\n", stats.Ratio(mRate, nRate))
+	fmt.Printf("L2 miss ratio (%dxL2 / L2):   %s  (<1 means migration removed misses)\n", p.Cores, stats.Ratio(mRate, nRate))
 
 	if be, ok := migration.MissesRemovedPerMigration(normal.Outcome(), mig.Outcome()); ok {
 		fmt.Printf("break-even Pmig:             %.1f  (migration wins while Pmig below this)\n", be)

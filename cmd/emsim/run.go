@@ -1,0 +1,266 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads/suite"
+)
+
+// runParams describes one simulation run. Both machines (the 1-core
+// baseline and the N-core migration configuration) are driven in a
+// single pass over the input, so a checkpoint captures them at the same
+// event and a resumed run replays the identical stream to both.
+type runParams struct {
+	Workload string
+	Instr    uint64
+	Cores    int
+	Replay   string // drive from this trace file instead of a workload
+
+	Checkpoint      string // checkpoint file path ("" = no checkpointing)
+	CheckpointEvery uint64 // events between periodic checkpoints (0 = only on interrupt)
+	Resume          string // resume from this checkpoint file
+
+	// stop, when it becomes true mid-run, aborts the pass at the next
+	// event boundary (the SIGINT path). A final checkpoint is written if
+	// Checkpoint is set.
+	stop *atomic.Bool
+	// stopAfter aborts after exactly this many events — the test hook
+	// that simulates an interrupt at a deterministic point. 0 = never.
+	stopAfter uint64
+}
+
+// validate rejects malformed parameter combinations up front, before
+// any machine is built (satellite: flag validation — a bad -cores used
+// to survive until a panic deep inside the migration controller).
+func (p *runParams) validate() error {
+	switch p.Cores {
+	case 2, 4, 8:
+	default:
+		return fmt.Errorf("emsim: -cores must be 2, 4 or 8, got %d", p.Cores)
+	}
+	if p.Replay == "" {
+		if _, err := suite.Registry().New(p.Workload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runResult is what one pass produces.
+type runResult struct {
+	Normal, Mig machine.Stats
+	Events      uint64
+	Interrupted bool
+	Resumed     uint64 // events skipped during resume fast-forward (0 = fresh run)
+}
+
+// stopRun is the panic sentinel ckptSink throws to unwind out of a
+// workload generator mid-stream; drive recovers it.
+type stopRun struct{}
+
+// teeSink fans one event stream out to both machines.
+type teeSink struct{ a, b mem.Sink }
+
+func (t teeSink) Access(addr mem.Addr, kind mem.Kind) {
+	t.a.Access(addr, kind)
+	t.b.Access(addr, kind)
+}
+func (t teeSink) Instr(n uint64) {
+	t.a.Instr(n)
+	t.b.Instr(n)
+}
+
+// ckptSink numbers events, discards the resume prefix, triggers
+// periodic checkpoints, and aborts on a stop request. Workload
+// generators cannot return early, so the abort is a panic(stopRun{})
+// recovered in drive.
+type ckptSink struct {
+	inner  mem.Sink
+	events uint64 // events seen, including the skipped resume prefix
+	skip   uint64 // resume fast-forward: discard the first skip events
+	every  uint64
+	save   func(events uint64)
+	stop   *atomic.Bool
+	after  uint64
+}
+
+func (c *ckptSink) Access(addr mem.Addr, kind mem.Kind) {
+	c.step(func() { c.inner.Access(addr, kind) })
+}
+
+func (c *ckptSink) Instr(n uint64) {
+	c.step(func() { c.inner.Instr(n) })
+}
+
+func (c *ckptSink) step(deliver func()) {
+	c.events++
+	if c.events > c.skip {
+		deliver()
+		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
+			c.save(c.events)
+		}
+	}
+	if (c.stop != nil && c.stop.Load()) || (c.after > 0 && c.events == c.after) {
+		panic(stopRun{})
+	}
+}
+
+// drive pushes the run's input into sink, converting a stopRun panic
+// into interrupted=true.
+func drive(p runParams, sink mem.Sink) (interrupted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopRun); ok {
+				interrupted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if p.Replay != "" {
+		f, err := os.Open(p.Replay)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			return false, err
+		}
+		if _, err := tr.Replay(sink); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	w, err := suite.Registry().New(p.Workload)
+	if err != nil {
+		return false, err
+	}
+	w.Run(sink, p.Instr)
+	return false, nil
+}
+
+// run executes one simulation pass (or resumes one) and returns the
+// final stats of both machines. When resuming, p's run-shaping fields
+// are overwritten from the checkpoint, so the caller's report sees the
+// effective parameters.
+func run(p *runParams) (*runResult, error) {
+	var resumeCk *machine.Checkpoint
+	if p.Resume != "" {
+		ck, err := machine.LoadCheckpoint(p.Resume)
+		if err != nil {
+			return nil, err
+		}
+		// The checkpoint is authoritative about the run it belongs to:
+		// flags that shaped the original pass are restored from it.
+		p.Workload, p.Replay, p.Instr, p.Cores = ck.Workload, ck.Replay, ck.Instr, ck.Cores
+		resumeCk = ck
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+
+	normal, err := machine.New(machine.NormalConfig())
+	if err != nil {
+		return nil, err
+	}
+	mig, err := machine.New(machine.MigrationConfigN(p.Cores))
+	if err != nil {
+		return nil, err
+	}
+
+	var skip uint64
+	if resumeCk != nil {
+		ns, err := resumeCk.Machine("normal")
+		if err != nil {
+			return nil, err
+		}
+		if err := normal.Restore(*ns); err != nil {
+			return nil, err
+		}
+		ms, err := resumeCk.Machine("migration")
+		if err != nil {
+			return nil, err
+		}
+		if err := mig.Restore(*ms); err != nil {
+			return nil, err
+		}
+		skip = resumeCk.Events
+	}
+
+	snapshot := func(events uint64) (*machine.Checkpoint, error) {
+		ns, err := normal.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		ms, err := mig.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return &machine.Checkpoint{
+			Workload: p.Workload,
+			Replay:   p.Replay,
+			Instr:    p.Instr,
+			Cores:    p.Cores,
+			Events:   events,
+			Machines: []machine.NamedSnapshot{
+				{Name: "normal", Snap: ns},
+				{Name: "migration", Snap: ms},
+			},
+		}, nil
+	}
+
+	var saveErr error
+	save := func(events uint64) {
+		if p.Checkpoint == "" {
+			return
+		}
+		ck, err := snapshot(events)
+		if err == nil {
+			err = machine.SaveCheckpoint(p.Checkpoint, ck)
+		}
+		if err != nil && saveErr == nil {
+			saveErr = err
+		}
+	}
+
+	sink := &ckptSink{
+		inner: teeSink{a: normal, b: mig},
+		skip:  skip,
+		every: p.CheckpointEvery,
+		save:  save,
+		stop:  p.stop,
+		after: p.stopAfter,
+	}
+	interrupted, err := drive(*p, sink)
+	if err != nil {
+		return nil, err
+	}
+	if saveErr != nil {
+		return nil, fmt.Errorf("emsim: checkpointing failed: %w", saveErr)
+	}
+	if interrupted {
+		// An interrupt during resume fast-forward leaves the machines
+		// still at the restored event count, not at sink.events.
+		ev := sink.events
+		if ev < skip {
+			ev = skip
+		}
+		save(ev)
+		if saveErr != nil {
+			return nil, fmt.Errorf("emsim: final checkpoint failed: %w", saveErr)
+		}
+	}
+	return &runResult{
+		Normal:      normal.FinalStats(),
+		Mig:         mig.FinalStats(),
+		Events:      sink.events,
+		Interrupted: interrupted,
+		Resumed:     skip,
+	}, nil
+}

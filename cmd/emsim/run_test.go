@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workloads/suite"
+)
+
+func TestValidateParams(t *testing.T) {
+	for _, p := range []runParams{
+		{Workload: "179.art", Cores: 3},
+		{Workload: "179.art", Cores: 0},
+		{Workload: "179.art", Cores: -4},
+		{Workload: "179.art", Cores: 16},
+		{Workload: "no-such-workload", Cores: 4},
+	} {
+		if err := p.validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	ok := runParams{Workload: "179.art", Cores: 4}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// TestResumeMatchesUninterrupted: interrupting a run at an arbitrary
+// event, checkpointing, and resuming must produce final stats identical
+// to the uninterrupted run — the core resilience guarantee.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+	base := runParams{Workload: "179.art", Instr: 300_000, Cores: 4}
+
+	refp := base
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Interrupted || ref.Events == 0 {
+		t.Fatalf("reference run: %+v", ref)
+	}
+
+	for _, cut := range []uint64{1, 997, 50_000, ref.Events - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			ckpt := filepath.Join(dir, fmt.Sprintf("cut%d.ckpt", cut))
+			p := base
+			p.Checkpoint = ckpt
+			p.stopAfter = cut
+			res, err := run(&p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Interrupted || res.Events != cut {
+				t.Fatalf("interrupt at %d: %+v", cut, res)
+			}
+
+			q := runParams{Resume: ckpt}
+			res2, err := run(&q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Resume restores the run's parameters from the checkpoint.
+			if q.Workload != base.Workload || q.Cores != base.Cores || q.Instr != base.Instr {
+				t.Fatalf("resume params not restored: %+v", q)
+			}
+			if res2.Interrupted || res2.Resumed != cut {
+				t.Fatalf("resumed run: %+v", res2)
+			}
+			if res2.Events != ref.Events {
+				t.Fatalf("resumed run consumed %d events, reference %d", res2.Events, ref.Events)
+			}
+			if res2.Normal != ref.Normal {
+				t.Errorf("normal stats diverged:\n got %+v\nwant %+v", res2.Normal, ref.Normal)
+			}
+			if res2.Mig != ref.Mig {
+				t.Errorf("migration stats diverged:\n got %+v\nwant %+v", res2.Mig, ref.Mig)
+			}
+		})
+	}
+}
+
+// TestResumeFromPeriodicCheckpoint: the -checkpoint-every path — the
+// file left by the LAST periodic save resumes to the reference result.
+func TestResumeFromPeriodicCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	base := runParams{Workload: "em3d", Instr: 200_000, Cores: 2}
+
+	refp := base
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(dir, "periodic.ckpt")
+	p := base
+	p.Checkpoint = ckpt
+	p.CheckpointEvery = 10_000
+	p.stopAfter = 34_567 // between periodic saves; final save happens on interrupt
+	if _, err := run(&p); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := machine.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Events != 34_567 {
+		t.Fatalf("final checkpoint at event %d, want 34567", ck.Events)
+	}
+
+	q := runParams{Resume: ckpt}
+	res2, err := run(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Normal != ref.Normal || res2.Mig != ref.Mig {
+		t.Fatalf("periodic-checkpoint resume diverged from reference")
+	}
+}
+
+// TestResumeReplayTrace: checkpoint/resume also works when the machines
+// are driven from a recorded trace file instead of a live workload.
+func TestResumeReplayTrace(t *testing.T) {
+	dir := t.TempDir()
+
+	tracePath := filepath.Join(dir, "w.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := suite.Registry().New("mst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(tw, 150_000)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runParams{Replay: tracePath, Cores: 4}
+	refp := base
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Events != tw.Events() {
+		t.Fatalf("replay consumed %d events, trace has %d", ref.Events, tw.Events())
+	}
+
+	ckpt := filepath.Join(dir, "replay.ckpt")
+	p := base
+	p.Checkpoint = ckpt
+	p.stopAfter = ref.Events / 2
+	if _, err := run(&p); err != nil {
+		t.Fatal(err)
+	}
+	q := runParams{Resume: ckpt}
+	res2, err := run(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Normal != ref.Normal || res2.Mig != ref.Mig {
+		t.Fatal("trace-replay resume diverged from reference")
+	}
+}
+
+// TestSIGINTGracefulStop sends a real SIGINT to the process mid-run and
+// checks the graceful-stop path end to end: the run aborts early, a
+// final checkpoint lands on disk, and resuming it reproduces the
+// uninterrupted run's stats exactly — from whatever arbitrary event the
+// signal happened to land on.
+func TestSIGINTGracefulStop(t *testing.T) {
+	dir := t.TempDir()
+	base := runParams{Workload: "181.mcf", Instr: 3_000_000, Cores: 4}
+
+	refp := base
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(dir, "sigint.ckpt")
+	p := base
+	p.Checkpoint = ckpt
+	var stop atomic.Bool
+	p.stop = &stop
+	watchInterrupt(&stop)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+	res, err := run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		// The run finished before the signal landed; the graceful path
+		// wasn't exercised but nothing is wrong. Don't fail on slow CI.
+		t.Skip("run completed before SIGINT arrived")
+	}
+	if res.Events >= ref.Events {
+		t.Fatalf("interrupted run consumed %d events, reference only %d", res.Events, ref.Events)
+	}
+
+	q := runParams{Resume: ckpt}
+	res2, err := run(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res.Events {
+		t.Fatalf("resumed from event %d, interrupt was at %d", res2.Resumed, res.Events)
+	}
+	if res2.Normal != ref.Normal || res2.Mig != ref.Mig {
+		t.Fatalf("SIGINT resume diverged:\n got %+v\nwant %+v", res2.Mig, ref.Mig)
+	}
+}

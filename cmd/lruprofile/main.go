@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		instr = flag.Uint64("instr", 20_000_000, "instruction budget per workload")
-		only  = flag.String("only", "", "comma-separated subset of workloads")
-		csv   = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
+		instr    = flag.Uint64("instr", 20_000_000, "instruction budget per workload")
+		only     = flag.String("only", "", "comma-separated subset of workloads")
+		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
+		maxLines = flag.Int64("max-lines", 0, "cap each LRU stack at this many live lines, LRU-evicting past it (0 = unbounded; curves stay exact for thresholds <= the cap)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	}
 
 	if *csv {
-		fmt.Println("workload,threshold_lines,threshold_bytes,p1,p4,transfreq")
+		fmt.Println("workload,threshold_lines,threshold_bytes,p1,p4,transfreq,dropped")
 	}
 	for _, n := range names {
 		w, err := reg.New(n)
@@ -49,11 +50,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res := report.LRUProfile(w, *instr, mem.DefaultLineShift)
+		res := report.LRUProfileCapped(w, *instr, mem.DefaultLineShift, *maxLines)
 		if *csv {
 			for i, th := range res.Thresholds {
-				fmt.Printf("%s,%d,%d,%.6f,%.6f,%.6f\n",
-					res.Workload, th, th<<mem.DefaultLineShift, res.P1[i], res.P4[i], res.TransFreq)
+				fmt.Printf("%s,%d,%d,%.6f,%.6f,%.6f,%d\n",
+					res.Workload, th, th<<mem.DefaultLineShift, res.P1[i], res.P4[i], res.TransFreq, res.Dropped)
 			}
 			continue
 		}

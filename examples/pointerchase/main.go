@@ -64,9 +64,9 @@ func main() {
 	// L2, inside the 2MB aggregate.
 	wl := &listWorkload{nodes: 24 << 10}
 
-	normal := machine.New(machine.NormalConfig())
+	normal := machine.MustNew(machine.NormalConfig())
 	wl.run(normal, budget)
-	mig := machine.New(machine.MigrationConfig())
+	mig := machine.MustNew(machine.MigrationConfig())
 	wl.run(mig, budget)
 
 	n, m := normal.Stats, mig.Stats

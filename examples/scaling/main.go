@@ -32,7 +32,7 @@ func run(cores int, pf bool, ws, laps uint64) machine.Stats {
 		p := prefetch.Default()
 		cfg.Prefetch = &p
 	}
-	m := machine.New(cfg)
+	m := machine.MustNew(cfg)
 	trace.Drive(trace.NewCircular(ws), m, laps*ws, 6, 3)
 	return m.Stats
 }

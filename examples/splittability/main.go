@@ -60,8 +60,8 @@ func main() {
 
 	// 24k lines = 1.5MB: exceeds one 512KB L2, fits the 2MB aggregate.
 	analyze("circular", trace.NewCircular(24<<10), refs, thresholds)
-	analyze("halfrandom", trace.NewHalfRandom(24<<10, 1000, 7), refs, thresholds)
-	analyze("random", trace.NewUniform(24<<10, 7), refs, thresholds)
+	analyze("halfrandom", trace.Must(trace.NewHalfRandom(24<<10, 1000, 7)), refs, thresholds)
+	analyze("random", trace.Must(trace.NewUniform(24<<10, 7)), refs, thresholds)
 
 	fmt.Println("Interpretation: with 4 caches of size x, the split stream behaves")
 	fmt.Println("like the p4 column — circular and phase-structured working sets")

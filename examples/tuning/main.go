@@ -52,7 +52,7 @@ func main() {
 	fmt.Println("\n2) filter width on a uniform random stream (halving per bit):")
 	fmt.Printf("   %8s  %14s\n", "bits", "trans/ref")
 	for _, b := range []uint{17, 18, 19, 20, 21} {
-		f := transFreq2(trace.NewUniform(4000, 3), 100, b, 2_000_000)
+		f := transFreq2(trace.Must(trace.NewUniform(4000, 3)), 100, b, 2_000_000)
 		fmt.Printf("   %8d  %14.6f\n", b, f)
 	}
 

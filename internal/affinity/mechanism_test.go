@@ -89,7 +89,7 @@ func TestFig3SplitCircularLong(t *testing.T) {
 // side, and the two halves on opposite sides.
 func TestFig3SplitHalfRandom(t *testing.T) {
 	const n = 4000
-	m := runMech(t, trace.NewHalfRandom(n, 300, 1), 1_000_000, 100)
+	m := runMech(t, trace.Must(trace.NewHalfRandom(n, 300, 1)), 1_000_000, 100)
 
 	var posLow, posHigh int
 	for e := uint64(0); e < n/2; e++ {
@@ -308,7 +308,7 @@ func TestPostponedUpdateEquivalence(t *testing.T) {
 			for gcd(stride, n) != 1 {
 				stride += 2
 			}
-			g = trace.NewStrided(n, stride)
+			g = trace.Must(trace.NewStrided(n, stride))
 		}
 
 		mech := NewMechanism(MechConfig{WindowSize: window, AffinityBits: 32, FilterBits: 40}, NewUnbounded())

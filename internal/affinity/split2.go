@@ -29,6 +29,12 @@ type Splitter interface {
 	// splitter's DECIDING transition filters — how close the splitter is
 	// to designating a different subset (§6's broadcast-gating signal).
 	MinFilterFraction() float64
+	// State returns the splitter's serialisable state for
+	// checkpoint/resume.
+	State() SplitterState
+	// SetState restores a state captured from an identically configured
+	// splitter.
+	SetState(SplitterState) error
 }
 
 // Splitter2 performs 2-way working-set splitting with a single mechanism

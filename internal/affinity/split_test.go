@@ -53,7 +53,7 @@ func TestFilterSaturatedRandomInputs(t *testing.T) {
 // sets, so the filter must keep transitions well under control (vs. the
 // unfiltered 50%).
 func TestFilterRandomStream(t *testing.T) {
-	g := trace.NewUniform(4000, 42)
+	g := trace.Must(trace.NewUniform(4000, 42))
 	s := NewSplitter2(MechConfig{WindowSize: 100, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
 	for i := 0; i < 1_000_000; i++ {
 		s.Ref(mem.Line(g.Next()), true)
@@ -271,7 +271,7 @@ func TestIdealSplitsCircular(t *testing.T) {
 func TestIdealNegativeFeedback(t *testing.T) {
 	const n = 100
 	d := NewIdeal(10, 0)
-	g := trace.NewUniform(n, 7)
+	g := trace.Must(trace.NewUniform(n, 7))
 	// Touch everything once, then bias every element positive.
 	for e := uint64(0); e < n; e++ {
 		d.Ref(mem.Line(e))

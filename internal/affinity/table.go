@@ -14,14 +14,35 @@ type Table interface {
 	Store(line mem.Line, oe int64)
 }
 
-// Unbounded is a Table with no capacity limit, used by the paper's §4.1
-// experiments ("we assume an unlimited affinity cache size").
+// Unbounded is a Table with no hardware structure, used by the paper's
+// §4.1 experiments ("we assume an unlimited affinity cache size"). A
+// positive entry limit turns it into a FIFO-evicting bounded table so a
+// hostile or enormous trace degrades the simulation (entries dropped,
+// counted in Dropped) instead of exhausting host memory. Eviction is
+// strictly insertion-ordered, keeping runs deterministic — Go map
+// iteration order is not.
 type Unbounded struct {
-	m map[mem.Line]int64
+	m     map[mem.Line]int64
+	limit int
+	fifo  []mem.Line // insertion order; maintained only when limit > 0
+	head  int        // index of the oldest live fifo entry
+
+	// Dropped counts entries evicted to stay under the limit.
+	Dropped uint64
 }
 
 // NewUnbounded returns an empty unlimited table.
 func NewUnbounded() *Unbounded { return &Unbounded{m: make(map[mem.Line]int64)} }
+
+// NewUnboundedLimit returns a table holding at most limit entries,
+// evicting the oldest insertion when full. limit <= 0 means unlimited.
+func NewUnboundedLimit(limit int) *Unbounded {
+	u := NewUnbounded()
+	if limit > 0 {
+		u.limit = limit
+	}
+	return u
+}
 
 // Lookup implements Table.
 func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
@@ -30,7 +51,31 @@ func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
 }
 
 // Store implements Table.
-func (u *Unbounded) Store(line mem.Line, oe int64) { u.m[line] = oe }
+func (u *Unbounded) Store(line mem.Line, oe int64) {
+	if _, ok := u.m[line]; ok {
+		u.m[line] = oe
+		return
+	}
+	if u.limit > 0 && len(u.m) >= u.limit {
+		// Every fifo entry from head on is a live key: keys are appended
+		// exactly once (on insertion) and removed only here.
+		victim := u.fifo[u.head]
+		u.head++
+		delete(u.m, victim)
+		u.Dropped++
+		if u.head >= 1024 && u.head*2 >= len(u.fifo) {
+			u.fifo = append(u.fifo[:0], u.fifo[u.head:]...)
+			u.head = 0
+		}
+	}
+	u.m[line] = oe
+	if u.limit > 0 {
+		u.fifo = append(u.fifo, line)
+	}
+}
 
 // Len returns the number of lines tracked.
 func (u *Unbounded) Len() int { return len(u.m) }
+
+// Limit returns the configured entry limit (0 = unlimited).
+func (u *Unbounded) Limit() int { return u.limit }

@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SetAssocState is the serialisable state of a SetAssoc cache, used by
+// the machine checkpoint/resume path. All fields are exported so the
+// state survives gob encoding; Geo travels along so a restore into a
+// differently-shaped cache is rejected instead of corrupting memory.
+type SetAssocState struct {
+	Geo   Geometry
+	Lines []mem.Line
+	Valid []bool
+	Flags []uint8
+	Stamp []uint64
+	Clock uint64
+	Count int
+}
+
+// State returns a deep copy of the cache's current state.
+func (c *SetAssoc) State() SetAssocState {
+	return SetAssocState{
+		Geo:   c.geo,
+		Lines: append([]mem.Line(nil), c.lines...),
+		Valid: append([]bool(nil), c.valid...),
+		Flags: append([]uint8(nil), c.flags...),
+		Stamp: append([]uint64(nil), c.stamp...),
+		Clock: c.clock,
+		Count: c.count,
+	}
+}
+
+// SetState restores a previously captured state. The receiving cache
+// must have the same geometry as the one that produced the state.
+func (c *SetAssoc) SetState(s SetAssocState) error {
+	if s.Geo != c.geo {
+		return fmt.Errorf("cache: state geometry %+v does not match cache geometry %+v", s.Geo, c.geo)
+	}
+	n := c.geo.Frames()
+	if len(s.Lines) != n || len(s.Valid) != n || len(s.Flags) != n || len(s.Stamp) != n {
+		return fmt.Errorf("cache: state arrays sized %d/%d/%d/%d, want %d frames",
+			len(s.Lines), len(s.Valid), len(s.Flags), len(s.Stamp), n)
+	}
+	if s.Count < 0 || s.Count > n {
+		return fmt.Errorf("cache: state resident count %d out of [0,%d]", s.Count, n)
+	}
+	copy(c.lines, s.Lines)
+	copy(c.valid, s.Valid)
+	copy(c.flags, s.Flags)
+	copy(c.stamp, s.Stamp)
+	c.clock = s.Clock
+	c.count = s.Count
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package faultinject provides deterministic fault injection for the
+// simulation pipeline: a mem.Sink wrapper that corrupts the reference
+// stream (address bit-flips, dropped and duplicated records) and an
+// affinity.Table wrapper with stuck-at entries. Both are seeded, so a
+// faulty run is exactly reproducible.
+//
+// The point is robustness testing of §3's claim that the affinity
+// algorithm degrades smoothly: a rare corrupted input must shift a few
+// counters, not destabilise the splitter (transition frequency stays
+// bounded — §3.4's filter does the damping) and never panic. The tests
+// in this package assert exactly that.
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/affinity"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config parameterises the injector. Rates are per-record probabilities
+// in [0, 1); they are independent (one record can be both flipped and
+// duplicated).
+type Config struct {
+	// Seed drives the deterministic fault stream.
+	Seed uint64
+	// BitFlipRate is the probability that an Access record has one
+	// address bit inverted.
+	BitFlipRate float64
+	// DropRate is the probability that a record is silently dropped.
+	DropRate float64
+	// DupRate is the probability that a record is delivered twice.
+	DupRate float64
+	// AddrBits bounds which address bit a flip may hit (bit index drawn
+	// uniformly from [0, AddrBits)). 0 defaults to 32 — flips stay
+	// within a plausible address space instead of teleporting lines to
+	// the far end of the 64-bit space.
+	AddrBits uint
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"BitFlipRate", c.BitFlipRate}, {"DropRate", c.DropRate}, {"DupRate", c.DupRate}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("faultinject: %s %v out of [0, 1)", r.name, r.v)
+		}
+	}
+	if c.AddrBits > 64 {
+		return fmt.Errorf("faultinject: AddrBits %d out of [0, 64]", c.AddrBits)
+	}
+	return nil
+}
+
+// Counts reports what the injector actually did.
+type Counts struct {
+	Events   uint64 // records offered to the injector
+	BitFlips uint64
+	Drops    uint64
+	Dups     uint64
+}
+
+// Sink wraps a mem.Sink and injects faults into the records flowing
+// through. It sits anywhere a sink does: in front of a machine, behind
+// a trace reader's Replay, or under a workload generator.
+type Sink struct {
+	inner  mem.Sink
+	cfg    Config
+	rng    *trace.RNG
+	counts Counts
+}
+
+// New builds an injector in front of inner.
+func New(inner mem.Sink, cfg Config) (*Sink, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("faultinject: nil inner sink")
+	}
+	if cfg.AddrBits == 0 {
+		cfg.AddrBits = 32
+	}
+	return &Sink{inner: inner, cfg: cfg, rng: trace.NewRNG(cfg.Seed)}, nil
+}
+
+// Counts returns the faults injected so far.
+func (s *Sink) Counts() Counts { return s.counts }
+
+// hit draws one Bernoulli trial.
+func (s *Sink) hit(rate float64) bool {
+	return rate > 0 && s.rng.Float64() < rate
+}
+
+// Access implements mem.Sink.
+func (s *Sink) Access(addr mem.Addr, kind mem.Kind) {
+	s.counts.Events++
+	if s.hit(s.cfg.DropRate) {
+		s.counts.Drops++
+		return
+	}
+	if s.hit(s.cfg.BitFlipRate) {
+		s.counts.BitFlips++
+		addr ^= mem.Addr(1) << s.rng.Uint64n(uint64(s.cfg.AddrBits))
+	}
+	s.inner.Access(addr, kind)
+	if s.hit(s.cfg.DupRate) {
+		s.counts.Dups++
+		s.inner.Access(addr, kind)
+	}
+}
+
+// Instr implements mem.Sink. Instruction-count records can be dropped
+// or duplicated but carry no address to flip.
+func (s *Sink) Instr(n uint64) {
+	s.counts.Events++
+	if s.hit(s.cfg.DropRate) {
+		s.counts.Drops++
+		return
+	}
+	s.inner.Instr(n)
+	if s.hit(s.cfg.DupRate) {
+		s.counts.Dups++
+		s.inner.Instr(n)
+	}
+}
+
+var _ mem.Sink = (*Sink)(nil)
+
+// StuckTable wraps an affinity.Table with stuck-at faults: a
+// deterministic hash selects roughly 1-in-StuckOneIn lines whose
+// entries always read back StuckOe and ignore stores — the hardware
+// analogue of a defective affinity-cache row.
+type StuckTable struct {
+	Inner affinity.Table
+	// StuckOneIn selects the faulty line population (must be >= 1;
+	// 1 sticks every line).
+	StuckOneIn uint64
+	// StuckOe is the value faulty entries always return.
+	StuckOe int64
+
+	// Lookups counts lookups answered by a stuck entry; DroppedStores
+	// counts stores a stuck entry swallowed.
+	Lookups, DroppedStores uint64
+}
+
+// NewStuckTable wraps inner.
+func NewStuckTable(inner affinity.Table, stuckOneIn uint64, stuckOe int64) (*StuckTable, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faultinject: nil inner table")
+	}
+	if stuckOneIn == 0 {
+		return nil, fmt.Errorf("faultinject: StuckOneIn must be >= 1")
+	}
+	return &StuckTable{Inner: inner, StuckOneIn: stuckOneIn, StuckOe: stuckOe}, nil
+}
+
+// stuck reports whether line lands on a faulty entry.
+func (t *StuckTable) stuck(line mem.Line) bool {
+	// Knuth multiplicative hash — cheap, deterministic, and uncorrelated
+	// with the affinity sampling hash (which is mod-31 based).
+	return (uint64(line)*0x9e3779b97f4a7c15)>>33%t.StuckOneIn == 0
+}
+
+// Lookup implements affinity.Table.
+func (t *StuckTable) Lookup(line mem.Line) (int64, bool) {
+	if t.stuck(line) {
+		t.Lookups++
+		return t.StuckOe, true
+	}
+	return t.Inner.Lookup(line)
+}
+
+// Store implements affinity.Table.
+func (t *StuckTable) Store(line mem.Line, oe int64) {
+	if t.stuck(line) {
+		t.DroppedStores++
+		return
+	}
+	t.Inner.Store(line, oe)
+}
+
+var _ affinity.Table = (*StuckTable)(nil)

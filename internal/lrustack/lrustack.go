@@ -25,21 +25,45 @@ import (
 // LRU stack depth").
 const Infinite = int64(^uint64(0) >> 1)
 
-// Stack is an unbounded LRU stack with O(log n) depth queries.
+// Stack is an LRU stack with O(log n) depth queries. By default it is
+// unbounded — it tracks every distinct line ever referenced; NewLimited
+// caps the live-line count with LRU eviction.
 type Stack struct {
 	slot    map[mem.Line]int64 // line → time slot of last reference
 	tree    []int64            // Fenwick tree over slots, 1-based
 	used    int64              // next free slot (number of slots consumed)
 	live    int64              // number of live (distinct) lines
 	scratch []mem.Line         // reused during compaction
+	limit   int64              // max live lines (0 = unbounded)
+	rev     map[int64]mem.Line // slot → line, maintained only when limited
+	dropped uint64             // lines evicted by the cap
 }
 
-// New returns an empty stack.
+// New returns an empty unbounded stack.
 func New() *Stack {
 	return &Stack{
 		slot: make(map[mem.Line]int64),
 		tree: make([]int64, 1024),
 	}
+}
+
+// NewLimited returns a stack that never tracks more than limit distinct
+// lines: when a first touch would exceed the cap, the least recently
+// used line is evicted and counted in Dropped, and its next reference
+// reads as a first touch (Infinite) again. limit <= 0 means unbounded.
+//
+// The capped stack stays EXACT for every threshold <= limit: an evicted
+// line had depth >= limit at eviction, and depth only grows until the
+// line is re-referenced, so the unbounded stack would also report a
+// miss at every threshold <= limit for that reference. Only the
+// cold-versus-deep-miss attribution above the cap is approximated.
+func NewLimited(limit int64) *Stack {
+	s := New()
+	if limit > 0 {
+		s.limit = limit
+		s.rev = make(map[int64]mem.Line)
+	}
+	return s
 }
 
 // add updates the Fenwick tree at slot i (0-based) by delta.
@@ -88,6 +112,12 @@ func (s *Stack) compact() {
 	for i, l := range lines {
 		s.slot[l] = int64(i)
 	}
+	if s.rev != nil {
+		clear(s.rev)
+		for i, l := range lines {
+			s.rev[int64(i)] = l
+		}
+	}
 	s.used = int64(len(lines))
 	s.rebuild()
 }
@@ -124,6 +154,9 @@ func (s *Stack) Ref(line mem.Line) int64 {
 		// inside grow() repopulates the tree from the slot map and must
 		// not resurrect the old slot.
 		delete(s.slot, line)
+		if s.rev != nil {
+			delete(s.rev, old)
+		}
 	} else {
 		depth = Infinite
 		s.live++
@@ -131,9 +164,57 @@ func (s *Stack) Ref(line mem.Line) int64 {
 	s.grow()
 	s.slot[line] = s.used
 	s.add(s.used, 1)
+	if s.rev != nil {
+		s.rev[s.used] = line
+	}
 	s.used++
+	if s.limit > 0 && s.live > s.limit {
+		s.evict()
+	}
 	return depth
 }
 
-// Live returns the number of distinct lines seen.
+// evict removes the least recently used live line. Only called when
+// live > limit >= 1, so the victim is never the line just inserted
+// (which holds the highest slot while at least one other line is live).
+func (s *Stack) evict() {
+	sl := s.lowestLive()
+	line, ok := s.rev[sl]
+	if !ok {
+		panic("lrustack: reverse slot map out of sync")
+	}
+	s.add(sl, -1)
+	delete(s.slot, line)
+	delete(s.rev, sl)
+	s.live--
+	s.dropped++
+}
+
+// lowestLive returns the 0-based slot of the oldest live line — the
+// smallest slot whose prefix count reaches 1 — via the standard Fenwick
+// binary descend: walk power-of-two strides, keeping the largest tree
+// index whose cumulative sum is still short of the target.
+func (s *Stack) lowestLive() int64 {
+	var pos int64
+	rem := int64(1)
+	mask := int64(1)
+	for mask*2 < int64(len(s.tree)) {
+		mask *= 2
+	}
+	for ; mask > 0; mask >>= 1 {
+		if next := pos + mask; next < int64(len(s.tree)) && s.tree[next] < rem {
+			rem -= s.tree[next]
+			pos = next
+		}
+	}
+	return pos
+}
+
+// Live returns the number of live (distinct, not evicted) lines.
 func (s *Stack) Live() int64 { return s.live }
+
+// Limit returns the live-line cap (0 = unbounded).
+func (s *Stack) Limit() int64 { return s.limit }
+
+// Dropped returns the number of lines evicted by the cap.
+func (s *Stack) Dropped() uint64 { return s.dropped }

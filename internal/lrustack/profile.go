@@ -87,13 +87,29 @@ type MultiStack struct {
 	Profile *Profile
 }
 
-// NewMultiStack builds k stacks sharing one profile.
+// NewMultiStack builds k unbounded stacks sharing one profile.
 func NewMultiStack(k int, thresholds []int64) *MultiStack {
+	return NewMultiStackLimited(k, thresholds, 0)
+}
+
+// NewMultiStackLimited builds k stacks sharing one profile, each capped
+// at perStack live lines (<= 0 = unbounded). See NewLimited for the
+// accuracy guarantee: thresholds <= perStack are exact.
+func NewMultiStackLimited(k int, thresholds []int64, perStack int64) *MultiStack {
 	ms := &MultiStack{Profile: NewProfile(thresholds)}
 	for i := 0; i < k; i++ {
-		ms.Stacks = append(ms.Stacks, New())
+		ms.Stacks = append(ms.Stacks, NewLimited(perStack))
 	}
 	return ms
+}
+
+// Dropped returns the total lines evicted across all stacks.
+func (m *MultiStack) Dropped() uint64 {
+	var d uint64
+	for _, s := range m.Stacks {
+		d += s.Dropped()
+	}
+	return d
 }
 
 // Ref records a reference to line on stack k and returns its depth

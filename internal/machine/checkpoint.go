@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file format ("EMCKPT1"): an 8-byte magic, a uvarint payload
+// length, a gob-encoded Checkpoint, and a little-endian CRC32 (IEEE) of
+// the payload. The CRC makes a half-written or bit-rotted checkpoint a
+// detected error instead of a silently wrong resume; SaveCheckpoint
+// additionally writes through a temp file + rename so an interrupted
+// save never clobbers the previous good checkpoint.
+
+const checkpointMagic = "EMCKPT1\n"
+
+// NamedSnapshot pairs a machine snapshot with the role it plays in the
+// run (emsim checkpoints both the "normal" baseline and the "migration"
+// machine, which advance in lockstep over one input pass).
+type NamedSnapshot struct {
+	Name string
+	Snap Snapshot
+}
+
+// Checkpoint is everything needed to resume an interrupted simulation:
+// the input identity (workload or trace file, instruction budget, core
+// count), how many input events the machines have consumed, and the
+// machine snapshots themselves. Resume rebuilds the machines from the
+// same configuration, restores the snapshots, and re-drives the
+// deterministic input with the first Events events discarded.
+type Checkpoint struct {
+	// Workload is the workload name ("" when driven from a trace).
+	Workload string
+	// Replay is the trace path driving the run ("" when synthetic).
+	Replay string
+	// Instr is the instruction budget of the original run.
+	Instr uint64
+	// Cores is the migration machine's core count.
+	Cores int
+	// Events is the number of sink events (Access + Instr calls) the
+	// machines had consumed when the snapshot was taken.
+	Events uint64
+
+	Machines []NamedSnapshot
+}
+
+// Machine returns the named snapshot, or an error.
+func (c *Checkpoint) Machine(name string) (*Snapshot, error) {
+	for i := range c.Machines {
+		if c.Machines[i].Name == name {
+			return &c.Machines[i].Snap, nil
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: no machine named %q", name)
+}
+
+// WriteCheckpoint serialises ck to w.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(checkpointMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(payload.Len()))
+	bw.Write(tmp[:n])
+	bw.Write(payload.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	bw.Write(crc[:])
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserialises a checkpoint, verifying the magic, length
+// and CRC before decoding.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", magic)
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading payload length: %w", err)
+	}
+	const maxPayload = 1 << 32
+	if size > maxPayload {
+		return nil, fmt.Errorf("checkpoint: payload length %d exceeds %d", size, uint64(maxPayload))
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated payload: %w", err)
+	}
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(br, crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated CRC: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(crcBytes[:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch: computed %08x, stored %08x", got, want)
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &ck, nil
+}
+
+// SaveCheckpoint atomically writes ck to path (temp file + rename), so a
+// crash mid-save leaves any previous checkpoint intact.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := f.Name()
+	if err := WriteCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -1,0 +1,249 @@
+package machine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads/suite"
+)
+
+// recordedEvent is one sink event captured for exact replay control.
+type recordedEvent struct {
+	addr    mem.Addr
+	kind    mem.Kind
+	instr   uint64
+	isInstr bool
+}
+
+type recordingSink struct{ evs []recordedEvent }
+
+func (r *recordingSink) Access(a mem.Addr, k mem.Kind) {
+	r.evs = append(r.evs, recordedEvent{addr: a, kind: k})
+}
+func (r *recordingSink) Instr(n uint64) {
+	r.evs = append(r.evs, recordedEvent{instr: n, isInstr: true})
+}
+
+func deliver(t *testing.T, evs []recordedEvent, sinks ...mem.Sink) {
+	t.Helper()
+	for _, e := range evs {
+		for _, s := range sinks {
+			if e.isInstr {
+				s.Instr(e.instr)
+			} else {
+				s.Access(e.addr, e.kind)
+			}
+		}
+	}
+}
+
+// captureWorkload records a workload's event stream once, so the
+// interrupted and uninterrupted runs see byte-identical input.
+func captureWorkload(t *testing.T, name string, budget uint64) []recordedEvent {
+	t.Helper()
+	w, err := suite.Registry().New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec recordingSink
+	w.Run(&rec, budget)
+	return rec.evs
+}
+
+// captureSynthetic records a circular sweep (the paper's canonical
+// splittable behaviour).
+func captureSynthetic(lines, refs uint64) []recordedEvent {
+	var rec recordingSink
+	trace.Drive(trace.NewCircular(lines), &rec, refs, 6, 3)
+	return rec.evs
+}
+
+// TestCheckpointRoundTrip: snapshotting both machines mid-run, pushing
+// the snapshot through the serialised checkpoint format, restoring into
+// FRESH machines and finishing the run must give final stats
+// bit-identical to the uninterrupted run — for a SPEC analogue, an
+// Olden analogue and a synthetic workload.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  func(t *testing.T) []recordedEvent
+	}{
+		{"181.mcf", func(t *testing.T) []recordedEvent { return captureWorkload(t, "181.mcf", 400_000) }},
+		{"em3d", func(t *testing.T) []recordedEvent { return captureWorkload(t, "em3d", 400_000) }},
+		{"circular", func(t *testing.T) []recordedEvent { return captureSynthetic(24<<10, 150_000) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := tc.evs(t)
+			if len(evs) < 1000 {
+				t.Fatalf("workload produced only %d events", len(evs))
+			}
+
+			// Uninterrupted reference run.
+			refNormal := MustNew(NormalConfig())
+			refMig := MustNew(MigrationConfig())
+			deliver(t, evs, refNormal, refMig)
+
+			// Interrupted run: stop at ~40%, checkpoint, restore, finish.
+			cut := len(evs) * 2 / 5
+			aNormal := MustNew(NormalConfig())
+			aMig := MustNew(MigrationConfig())
+			deliver(t, evs[:cut], aNormal, aMig)
+
+			ns, err := aNormal.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := aMig.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck := &Checkpoint{
+				Workload: tc.name,
+				Cores:    4,
+				Events:   uint64(cut),
+				Machines: []NamedSnapshot{{Name: "normal", Snap: ns}, {Name: "migration", Snap: ms}},
+			}
+			var buf bytes.Buffer
+			if err := WriteCheckpoint(&buf, ck); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Events != uint64(cut) || loaded.Workload != tc.name {
+				t.Fatalf("checkpoint metadata mangled: %+v", loaded)
+			}
+
+			bNormal := MustNew(NormalConfig())
+			bMig := MustNew(MigrationConfig())
+			lns, err := loaded.Machine("normal")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bNormal.Restore(*lns); err != nil {
+				t.Fatal(err)
+			}
+			lms, err := loaded.Machine("migration")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bMig.Restore(*lms); err != nil {
+				t.Fatal(err)
+			}
+			deliver(t, evs[cut:], bNormal, bMig)
+
+			if got, want := bNormal.FinalStats(), refNormal.FinalStats(); got != want {
+				t.Errorf("normal stats diverged after resume:\n got %+v\nwant %+v", got, want)
+			}
+			if got, want := bMig.FinalStats(), refMig.FinalStats(); got != want {
+				t.Errorf("migration stats diverged after resume:\n got %+v\nwant %+v", got, want)
+			}
+			if bMig.ActiveCore() != refMig.ActiveCore() {
+				t.Errorf("active core %d after resume, want %d", bMig.ActiveCore(), refMig.ActiveCore())
+			}
+		})
+	}
+}
+
+// TestCheckpointRoundTripCores covers the 2- and 8-way splitters' state
+// (different mechanism trees) with the synthetic workload.
+func TestCheckpointRoundTripCores(t *testing.T) {
+	evs := captureSynthetic(24<<10, 120_000)
+	for _, cores := range []int{2, 8} {
+		ref := MustNew(MigrationConfigN(cores))
+		deliver(t, evs, ref)
+
+		cut := len(evs) / 3
+		a := MustNew(MigrationConfigN(cores))
+		deliver(t, evs[:cut], a)
+		snap, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := MustNew(MigrationConfigN(cores))
+		if err := b.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		deliver(t, evs[cut:], b)
+		if got, want := b.FinalStats(), ref.FinalStats(); got != want {
+			t.Errorf("%d-core stats diverged after resume:\n got %+v\nwant %+v", cores, got, want)
+		}
+	}
+}
+
+// TestCheckpointFileAtomicSave: SaveCheckpoint + LoadCheckpoint round
+// trip through the filesystem, and corruption is detected by the CRC.
+func TestCheckpointFileAtomicSave(t *testing.T) {
+	m := MustNew(MigrationConfig())
+	trace.Drive(trace.NewCircular(4000), m, 50_000, 6, 3)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Workload: "x", Cores: 4, Events: 50_000,
+		Machines: []NamedSnapshot{{Name: "migration", Snap: snap}}}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Events != ck.Events || len(loaded.Machines) != 1 {
+		t.Fatalf("loaded checkpoint mangled: %+v", loaded)
+	}
+
+	// Saving again overwrites atomically (no stale temp files left).
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after save: %v", entries)
+	}
+
+	// Any single corrupted byte in the payload region must be detected.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{len(raw) / 3, len(raw) / 2, len(raw) - 2} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x40
+		if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted byte %d accepted", pos)
+		}
+	}
+	// Truncation must be detected too.
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestRestoreShapeMismatch: restoring into a machine with a different
+// configuration must fail loudly.
+func TestRestoreShapeMismatch(t *testing.T) {
+	a := MustNew(MigrationConfigN(4))
+	trace.Drive(trace.NewCircular(4000), a, 20_000, 6, 3)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MustNew(MigrationConfigN(8)).Restore(snap); err == nil {
+		t.Fatal("4-core snapshot restored into 8-core machine")
+	}
+	if err := MustNew(NormalConfig()).Restore(snap); err == nil {
+		t.Fatal("migration snapshot restored into normal machine")
+	}
+}

@@ -25,7 +25,7 @@ func modifiedCopies(m *Machine, line mem.Line) (valid, modified int) {
 // rule — "at most a single copy of the line can be marked modified at
 // any time" — under a randomized load/store stream with migrations.
 func TestSingleModifiedCopyInvariant(t *testing.T) {
-	m := New(MigrationConfig())
+	m := MustNew(MigrationConfig())
 	rng := trace.NewRNG(31)
 	const span = 24 << 10
 	var stores []mem.Line
@@ -57,7 +57,7 @@ func TestSingleModifiedCopyInvariant(t *testing.T) {
 // TestInactiveCopiesStayValid: §2.1 — writing on the active core must
 // NOT invalidate inactive copies; their modified bit is merely reset.
 func TestInactiveCopiesStayValid(t *testing.T) {
-	m := New(MigrationConfig())
+	m := MustNew(MigrationConfig())
 	line := mem.Line(0x999)
 
 	// Load the line on core 0 (active), dirty it.
@@ -91,7 +91,7 @@ func TestInactiveCopiesStayValid(t *testing.T) {
 // forwarded (with simultaneous writeback and modified reset); a clean
 // remote copy cannot be forwarded and the line is re-fetched from L3.
 func TestL2ToL2ForwardOnlyModified(t *testing.T) {
-	m := New(MigrationConfig())
+	m := MustNew(MigrationConfig())
 	line := mem.Line(0x777)
 
 	// Plant a MODIFIED copy on core 3; active core 0 misses.
@@ -118,7 +118,7 @@ func TestL2ToL2ForwardOnlyModified(t *testing.T) {
 
 // TestWritebackOnlyModified: evicting a clean line must not write back.
 func TestWritebackOnlyModified(t *testing.T) {
-	m := New(NormalConfig())
+	m := MustNew(NormalConfig())
 	// Fill the L2 with clean loads only; evictions happen, no writebacks.
 	g := trace.NewCircular(20 << 10)
 	for i := 0; i < 60<<10; i++ {
@@ -132,7 +132,7 @@ func TestWritebackOnlyModified(t *testing.T) {
 // TestActiveCoreTracksController: the machine's active core must always
 // equal the controller's.
 func TestActiveCoreTracksController(t *testing.T) {
-	m := New(MigrationConfig())
+	m := MustNew(MigrationConfig())
 	g := trace.NewCircular(24 << 10)
 	for i := 0; i < 400_000; i++ {
 		m.Access(mem.AddrOf(mem.Line(g.Next()), 6), mem.Load)

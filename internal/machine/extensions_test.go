@@ -21,9 +21,9 @@ func TestCoreScaling(t *testing.T) {
 	run := func(cores int) Stats {
 		var m *Machine
 		if cores == 1 {
-			m = New(NormalConfig())
+			m = MustNew(NormalConfig())
 		} else {
-			m = New(MigrationConfigN(cores))
+			m = MustNew(MigrationConfigN(cores))
 		}
 		trace.Drive(trace.NewCircular(ws), m, 25*ws, 6, 3)
 		return m.Stats
@@ -45,7 +45,7 @@ func TestCoreScaling(t *testing.T) {
 	// splitting levels have converged (they cascade, so it takes longer
 	// than the 4-way case), the steady-state miss rate must collapse.
 	// Measure the last 25 laps after a 100-lap warm-up.
-	m8 := New(MigrationConfigN(8))
+	m8 := MustNew(MigrationConfigN(8))
 	g := trace.NewCircular(ws)
 	trace.Drive(g, m8, 100*ws, 6, 3)
 	warm := m8.Stats.L2Misses
@@ -62,9 +62,9 @@ func TestCoreScaling(t *testing.T) {
 // working set that fits 1 MB but not 512 KB.
 func TestTwoCoreSplitsHalfMegabyte(t *testing.T) {
 	const ws = 12 << 10 // 768 KB
-	normal := New(NormalConfig())
+	normal := MustNew(NormalConfig())
 	trace.Drive(trace.NewCircular(ws), normal, 40*ws, 6, 3)
-	two := New(MigrationConfigN(2))
+	two := MustNew(MigrationConfigN(2))
 	trace.Drive(trace.NewCircular(ws), two, 40*ws, 6, 3)
 	if ratio := float64(two.Stats.L2Misses) / float64(normal.Stats.L2Misses); ratio > 0.5 {
 		t.Fatalf("2-core migration ineffective: miss ratio %.3f", ratio)
@@ -74,13 +74,13 @@ func TestTwoCoreSplitsHalfMegabyte(t *testing.T) {
 // TestPointerLoadFiltering: with PointerLoadsOnly, plain-load misses
 // must never trigger migrations, pointer-load misses must.
 func TestPointerLoadFiltering(t *testing.T) {
-	mc := migration.ConfigForCores(4)
+	mc := migration.MustConfigForCores(4)
 	mc.PointerLoadsOnly = true
 	cfg := MigrationConfigN(4)
 	cfg.Migration = &mc
 
 	// Plain loads only: no migrations ever.
-	m := New(cfg)
+	m := MustNew(cfg)
 	g := trace.NewCircular(24 << 10)
 	for i := 0; i < 800_000; i++ {
 		m.Access(mem.AddrOf(mem.Line(g.Next()), 6), mem.Load)
@@ -90,7 +90,7 @@ func TestPointerLoadFiltering(t *testing.T) {
 	}
 
 	// Same stream as pointer loads: migrations return.
-	m2 := New(cfg)
+	m2 := MustNew(cfg)
 	g2 := trace.NewCircular(24 << 10)
 	for i := 0; i < 800_000; i++ {
 		m2.Access(mem.AddrOf(mem.Line(g2.Next()), 6), mem.PtrLoad)
@@ -107,7 +107,7 @@ func TestFiniteL3(t *testing.T) {
 	l3 := cache.GeometryFor(8<<20, 6, 8, false) // 8 MB shared L3
 	cfg := NormalConfig()
 	cfg.L3 = &l3
-	m := New(cfg)
+	m := MustNew(cfg)
 	const ws = 32 << 10 // 2 MB: misses L2, fits L3
 	trace.Drive(trace.NewCircular(ws), m, 10*ws, 6, 3)
 	if m.Stats.L3Misses < uint64(ws) {
@@ -131,13 +131,13 @@ func TestFiniteL3(t *testing.T) {
 // prefetches useful).
 func TestPrefetcherOnSequentialStream(t *testing.T) {
 	const ws = 24 << 10
-	base := New(NormalConfig())
+	base := MustNew(NormalConfig())
 	trace.Drive(trace.NewCircular(ws), base, 10*ws, 6, 3)
 
 	pfc := prefetch.Default()
 	cfg := NormalConfig()
 	cfg.Prefetch = &pfc
-	pf := New(cfg)
+	pf := MustNew(cfg)
 	trace.Drive(trace.NewCircular(ws), pf, 10*ws, 6, 3)
 
 	if pf.Stats.PrefetchIssued == 0 {
@@ -158,8 +158,8 @@ func TestPrefetcherUselessOnRandomStream(t *testing.T) {
 	pfc := prefetch.Default()
 	cfg := NormalConfig()
 	cfg.Prefetch = &pfc
-	m := New(cfg)
-	trace.Drive(trace.NewUniform(64<<10, 3), m, 400_000, 6, 3)
+	m := MustNew(cfg)
+	trace.Drive(trace.Must(trace.NewUniform(64<<10, 3)), m, 400_000, 6, 3)
 	frac := float64(m.Stats.PrefetchIssued) / float64(m.Stats.L2Misses+1)
 	if frac > 0.2 {
 		t.Fatalf("prefetcher fired on %.2f of random misses", frac)
@@ -182,7 +182,7 @@ func TestPrefetchPlusMigration(t *testing.T) {
 			pfc := prefetch.Default()
 			cfg.Prefetch = &pfc
 		}
-		m := New(cfg)
+		m := MustNew(cfg)
 		trace.Drive(trace.NewCircular(ws), m, 20*ws, 6, 3)
 		return m.Stats.L2Misses
 	}
@@ -202,15 +202,14 @@ func TestPrefetchPlusMigration(t *testing.T) {
 	}
 }
 
-// TestMismatchedWaysPanics documents the cores/controller contract.
-func TestMismatchedWaysPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on cores/ways mismatch")
-		}
-	}()
-	mc := migration.ConfigForCores(8)
-	New(Config{Cores: 4, LineShift: 6, IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(), Migration: &mc})
+// TestMismatchedWaysErrors documents the cores/controller contract:
+// a machine whose core count disagrees with the controller's way count
+// is a configuration error, reported rather than panicked.
+func TestMismatchedWaysErrors(t *testing.T) {
+	mc := migration.MustConfigForCores(8)
+	if _, err := New(Config{Cores: 4, LineShift: 6, IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(), Migration: &mc}); err == nil {
+		t.Fatal("no error on cores/ways mismatch")
+	}
 }
 
 // TestBroadcastThreshold exercises §6's update-bus optimisation: gating
@@ -221,7 +220,7 @@ func TestBroadcastThreshold(t *testing.T) {
 	run := func(threshold float64) Stats {
 		cfg := MigrationConfig()
 		cfg.BroadcastThreshold = threshold
-		m := New(cfg)
+		m := MustNew(cfg)
 		trace.Drive(trace.NewCircular(24<<10), m, 1_200_000, 6, 3)
 		return m.Stats
 	}

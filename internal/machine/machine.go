@@ -78,9 +78,11 @@ func MigrationConfig() Config { return MigrationConfigN(4) }
 
 // MigrationConfigN returns a Table2-style migration-mode machine with 2,
 // 4 or 8 cores (§6: the scheme "works also on 2-core configurations"
-// and extends to more).
+// and extends to more). It panics on any other core count: front ends
+// validate user-supplied counts before calling (see cmd/emsim), so a
+// bad argument here is an internal invariant violation.
 func MigrationConfigN(cores int) Config {
-	mc := migration.ConfigForCores(cores)
+	mc := migration.MustConfigForCores(cores)
 	return Config{
 		Cores: cores, LineShift: 6,
 		IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(),
@@ -142,6 +144,11 @@ type Stats struct {
 	// L1BroadcastBytes counts line broadcasts to inactive L1s (§2.3):
 	// one line per L1 fill.
 	L1BroadcastBytes uint64
+
+	// AffinityTableDropped counts affinity-table entries evicted by the
+	// unbounded table's memory cap (migration.Config.TableLimit).
+	// Populated by FinalStats; zero while the run is in flight.
+	AffinityTableDropped uint64
 }
 
 // PerInstr returns instructions per event, the paper's Table 2 metric
@@ -181,10 +188,26 @@ type Machine struct {
 	Stats  Stats
 }
 
-// New builds a machine.
-func New(cfg Config) *Machine {
+// New builds a machine. Malformed configurations — a bad core count,
+// geometry, or migration setup — come back as errors; MustNew wraps
+// them in a panic for call sites with compile-time-constant
+// configurations.
+func New(cfg Config) (*Machine, error) {
 	if cfg.Cores < 1 {
-		panic("machine: need at least one core")
+		return nil, fmt.Errorf("machine: need at least one core, got %d", cfg.Cores)
+	}
+	for _, g := range []struct {
+		name string
+		geo  cache.Geometry
+	}{{"IL1", cfg.IL1}, {"DL1", cfg.DL1}, {"L2", cfg.L2}} {
+		if err := g.geo.Validate(); err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", g.name, err)
+		}
+	}
+	if cfg.L3 != nil {
+		if err := cfg.L3.Validate(); err != nil {
+			return nil, fmt.Errorf("machine: L3: %w", err)
+		}
 	}
 	m := &Machine{
 		cfg: cfg,
@@ -201,16 +224,39 @@ func New(cfg Config) *Machine {
 		m.pf = prefetch.New(*cfg.Prefetch)
 	}
 	if cfg.Migration != nil {
-		m.ctrl = migration.NewController(*cfg.Migration)
-		if w := m.ctrl.Ways(); w != cfg.Cores {
-			panic(fmt.Sprintf("machine: %d cores but a %d-way migration controller", cfg.Cores, w))
+		ctrl, err := migration.NewController(*cfg.Migration)
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
 		}
+		m.ctrl = ctrl
+		if w := m.ctrl.Ways(); w != cfg.Cores {
+			return nil, fmt.Errorf("machine: %d cores but a %d-way migration controller", cfg.Cores, w)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New panicking on error, for constant configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
 
 // ActiveCore returns the core currently executing.
 func (m *Machine) ActiveCore() int { return m.active }
+
+// FinalStats returns the accumulated Stats with the end-of-run
+// controller counters (affinity-table drops) folded in.
+func (m *Machine) FinalStats() Stats {
+	s := m.Stats
+	if m.ctrl != nil {
+		s.AffinityTableDropped = m.ctrl.TableDropped()
+	}
+	return s
+}
 
 // Controller returns the migration controller (nil in normal mode).
 func (m *Machine) Controller() *migration.Controller { return m.ctrl }

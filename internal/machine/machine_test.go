@@ -17,7 +17,7 @@ func drive(m *Machine, g trace.Generator, n uint64, instrPerRef uint64) {
 // only cold L2 misses; one that fits neither thrashes the L2.
 func TestNormalMachineMissCounting(t *testing.T) {
 	// 16KB DL1 = 256 lines; 512KB L2 = 8192 lines.
-	m := New(NormalConfig())
+	m := MustNew(NormalConfig())
 	drive(m, trace.NewCircular(128), 10*128, 1)
 	if m.Stats.DL1Misses != 128 {
 		t.Fatalf("fits-DL1: %d DL1 misses, want 128 cold", m.Stats.DL1Misses)
@@ -26,7 +26,7 @@ func TestNormalMachineMissCounting(t *testing.T) {
 		t.Fatalf("fits-DL1: %d L2 misses, want 128 cold", m.Stats.L2Misses)
 	}
 
-	m = New(NormalConfig())
+	m = MustNew(NormalConfig())
 	drive(m, trace.NewCircular(4096), 10*4096, 1)
 	if m.Stats.DL1Misses != 10*4096 {
 		t.Fatalf("fits-L2: %d DL1 misses, want all %d (circular > DL1 thrashes LRU)", m.Stats.DL1Misses, 10*4096)
@@ -35,7 +35,7 @@ func TestNormalMachineMissCounting(t *testing.T) {
 		t.Fatalf("fits-L2: %d L2 misses, want 4096 cold", m.Stats.L2Misses)
 	}
 
-	m = New(NormalConfig())
+	m = MustNew(NormalConfig())
 	drive(m, trace.NewCircular(16384), 5*16384, 1)
 	// 16k-line circular working set in an 8k-frame L2: with LRU it would
 	// miss always; skewed + timestamps behave likewise for cyclic sweeps.
@@ -52,10 +52,10 @@ func TestNormalMachineMissCounting(t *testing.T) {
 func TestMigrationTradesMissesForMigrations(t *testing.T) {
 	const ws = 24 << 10 // lines
 	const laps = 40
-	normal := New(NormalConfig())
+	normal := MustNew(NormalConfig())
 	drive(normal, trace.NewCircular(ws), laps*ws, 3)
 
-	mig := New(MigrationConfig())
+	mig := MustNew(MigrationConfig())
 	drive(mig, trace.NewCircular(ws), laps*ws, 3)
 
 	if normal.Stats.L2Misses < uint64(ws)*(laps*9/10) {
@@ -82,9 +82,9 @@ func TestMigrationTradesMissesForMigrations(t *testing.T) {
 // unchanged (the paper's bh / 255.vortex / 186.crafty observation).
 func TestMigrationHarmlessOnTinyWorkingSet(t *testing.T) {
 	const ws = 4 << 10 // 256 KB
-	normal := New(NormalConfig())
+	normal := MustNew(NormalConfig())
 	drive(normal, trace.NewCircular(ws), 50*ws, 3)
-	mig := New(MigrationConfig())
+	mig := MustNew(MigrationConfig())
 	drive(mig, trace.NewCircular(ws), 50*ws, 3)
 
 	if mig.Stats.Migrations > 50 {
@@ -103,7 +103,7 @@ func TestMigrationHarmlessOnTinyWorkingSet(t *testing.T) {
 // explanation).
 func TestMigrationSuppressedOnHugeWorkingSet(t *testing.T) {
 	const ws = 128 << 10
-	mig := New(MigrationConfig())
+	mig := MustNew(MigrationConfig())
 	drive(mig, trace.NewCircular(ws), 6*ws, 3)
 	perMiss := float64(mig.Stats.Migrations) / float64(mig.Stats.L2Misses+1)
 	if perMiss > 0.001 {
@@ -118,10 +118,10 @@ func TestMigrationSuppressedOnHugeWorkingSet(t *testing.T) {
 // migrations rare.
 func TestMigrationDoesNotHelpRandom(t *testing.T) {
 	const ws = 16 << 10 // 1 MB of lines, random access
-	normal := New(NormalConfig())
-	drive(normal, trace.NewUniform(ws, 9), 30*ws, 3)
-	mig := New(MigrationConfig())
-	drive(mig, trace.NewUniform(ws, 9), 30*ws, 3)
+	normal := MustNew(NormalConfig())
+	drive(normal, trace.Must(trace.NewUniform(ws, 9)), 30*ws, 3)
+	mig := MustNew(MigrationConfig())
+	drive(mig, trace.Must(trace.NewUniform(ws, 9)), 30*ws, 3)
 
 	ratio := float64(mig.Stats.L2Misses) / float64(normal.Stats.L2Misses)
 	if ratio < 0.85 {
@@ -132,12 +132,48 @@ func TestMigrationDoesNotHelpRandom(t *testing.T) {
 	}
 }
 
+// TestAffinityTableDroppedSurfaces: a machine whose migration config
+// caps the affinity table must report the evictions through
+// FinalStats, and the Stats snapshot in flight must leave the field
+// zero (it is populated at collection time).
+func TestAffinityTableDroppedSurfaces(t *testing.T) {
+	cfg := MigrationConfigN(4)
+	mc := *cfg.Migration
+	mc.TableEntries = 0 // select the unbounded (capped) table
+	mc.TableLimit = 64  // far below the distinct-line count driven below
+	cfg.Migration = &mc
+	m := MustNew(cfg)
+	drive(m, trace.Must(trace.NewUniform(32<<10, 13)), 200_000, 1)
+	if m.Stats.AffinityTableDropped != 0 {
+		t.Fatalf("in-flight Stats.AffinityTableDropped = %d, want 0", m.Stats.AffinityTableDropped)
+	}
+	fs := m.FinalStats()
+	if fs.AffinityTableDropped == 0 {
+		t.Fatal("capped table never dropped")
+	}
+	if got := m.Controller().TableDropped(); fs.AffinityTableDropped != got {
+		t.Fatalf("FinalStats dropped %d != controller %d", fs.AffinityTableDropped, got)
+	}
+
+	// The same stream against the unbounded table at its DEFAULT limit
+	// must not drop (the default is far above any paper working set).
+	cfg2 := MigrationConfigN(4)
+	mc2 := *cfg2.Migration
+	mc2.TableEntries = 0
+	cfg2.Migration = &mc2
+	m2 := MustNew(cfg2)
+	drive(m2, trace.Must(trace.NewUniform(32<<10, 13)), 200_000, 1)
+	if d := m2.FinalStats().AffinityTableDropped; d != 0 {
+		t.Fatalf("default-limit run dropped %d entries", d)
+	}
+}
+
 // TestStoreCoherence exercises the §2.1 modified-bit protocol through
 // the public counters: stores mark lines modified; evicting a modified
 // line writes back; a modified remote copy is forwarded L2-to-L2 with a
 // simultaneous writeback.
 func TestStoreCoherence(t *testing.T) {
-	m := New(NormalConfig())
+	m := MustNew(NormalConfig())
 	// Store to a cold line: DL1 miss (non-write-allocate), L2
 	// write-allocate ⇒ one L2 miss, line modified.
 	m.Access(0x1000, mem.Store)
@@ -163,7 +199,7 @@ func TestStoreCoherence(t *testing.T) {
 // TestStoreThroughOnDL1Hit: a store to a DL1-resident line must not
 // count as an L1-miss request but still write through to the L2.
 func TestStoreThroughOnDL1Hit(t *testing.T) {
-	m := New(NormalConfig())
+	m := MustNew(NormalConfig())
 	m.Access(0x2000, mem.Load) // fills DL1 + L2
 	base := m.Stats.DL1Misses
 	m.Access(0x2000, mem.Store) // DL1 hit: silent write-through
@@ -193,13 +229,13 @@ func TestStoreThroughOnDL1Hit(t *testing.T) {
 // TestUpdateBusAccounting: migration mode accounts update-bus traffic
 // for instructions and stores; normal mode accounts none.
 func TestUpdateBusAccounting(t *testing.T) {
-	n := New(NormalConfig())
+	n := MustNew(NormalConfig())
 	n.Instr(100)
 	n.Access(0x100, mem.Store)
 	if n.Stats.UpdateBusBytes != 0 {
 		t.Fatal("normal mode should not use the update bus")
 	}
-	m := New(MigrationConfig())
+	m := MustNew(MigrationConfig())
 	m.Instr(100)
 	m.Access(0x100, mem.Store)
 	want := uint64(100*9 + 16)
@@ -214,8 +250,8 @@ func TestUpdateBusAccounting(t *testing.T) {
 // independent of migrations).
 func TestL1MirroringKeepsMissStreamStable(t *testing.T) {
 	mkRun := func(cfg Config) Stats {
-		m := New(cfg)
-		g := trace.NewHalfRandom(32<<10, 500, 4)
+		m := MustNew(cfg)
+		g := trace.Must(trace.NewHalfRandom(32<<10, 500, 4))
 		drive(m, g, 400_000, 3)
 		return m.Stats
 	}

@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/migration"
+	"repro/internal/prefetch"
+)
+
+// Snapshot is the complete serialisable state of a Machine: every cache,
+// the prefetcher, the migration controller (splitters, affinity table),
+// the active core, and the accumulated Stats. Restoring a snapshot into
+// a machine built from the same Config and re-driving the same reference
+// stream from the capture point reproduces an uninterrupted run
+// bit-for-bit — the property the checkpoint round-trip tests assert.
+type Snapshot struct {
+	Cores  int
+	Active int
+
+	IL1, DL1 cache.SetAssocState
+	L2       []cache.SetAssocState
+	L3       *cache.SetAssocState
+	Prefetch *prefetch.State
+
+	Controller *migration.ControllerState
+
+	Stats Stats
+}
+
+// Snapshot captures the machine's current state.
+func (m *Machine) Snapshot() (Snapshot, error) {
+	s := Snapshot{
+		Cores:  m.cfg.Cores,
+		Active: m.active,
+		IL1:    m.il1.State(),
+		DL1:    m.dl1.State(),
+		Stats:  m.Stats,
+	}
+	for _, l2 := range m.l2 {
+		s.L2 = append(s.L2, l2.State())
+	}
+	if m.l3 != nil {
+		st := m.l3.State()
+		s.L3 = &st
+	}
+	if m.pf != nil {
+		st := m.pf.State()
+		s.Prefetch = &st
+	}
+	if m.ctrl != nil {
+		st, err := m.ctrl.State()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		s.Controller = &st
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into the machine. The machine must have been
+// built from the same Config as the one that produced the snapshot;
+// every component validates its shape before mutating itself. A failed
+// Restore can still leave earlier components updated, so the caller must
+// treat the machine as unusable after an error.
+func (m *Machine) Restore(s Snapshot) error {
+	if s.Cores != m.cfg.Cores {
+		return fmt.Errorf("machine: snapshot has %d cores, machine has %d", s.Cores, m.cfg.Cores)
+	}
+	if s.Active < 0 || s.Active >= m.cfg.Cores {
+		return fmt.Errorf("machine: snapshot active core %d out of %d", s.Active, m.cfg.Cores)
+	}
+	if len(s.L2) != len(m.l2) {
+		return fmt.Errorf("machine: snapshot has %d L2s, machine has %d", len(s.L2), len(m.l2))
+	}
+	if (s.L3 != nil) != (m.l3 != nil) {
+		return fmt.Errorf("machine: snapshot and machine disagree on L3 presence")
+	}
+	if (s.Prefetch != nil) != (m.pf != nil) {
+		return fmt.Errorf("machine: snapshot and machine disagree on prefetcher presence")
+	}
+	if (s.Controller != nil) != (m.ctrl != nil) {
+		return fmt.Errorf("machine: snapshot and machine disagree on migration controller presence")
+	}
+	if err := m.il1.SetState(s.IL1); err != nil {
+		return fmt.Errorf("machine: IL1: %w", err)
+	}
+	if err := m.dl1.SetState(s.DL1); err != nil {
+		return fmt.Errorf("machine: DL1: %w", err)
+	}
+	for i, st := range s.L2 {
+		if err := m.l2[i].SetState(st); err != nil {
+			return fmt.Errorf("machine: L2[%d]: %w", i, err)
+		}
+	}
+	if s.L3 != nil {
+		if err := m.l3.SetState(*s.L3); err != nil {
+			return fmt.Errorf("machine: L3: %w", err)
+		}
+	}
+	if s.Prefetch != nil {
+		if err := m.pf.SetState(*s.Prefetch); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+	}
+	if s.Controller != nil {
+		if err := m.ctrl.SetState(*s.Controller); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+	}
+	m.active = s.Active
+	m.Stats = s.Stats
+	return nil
+}

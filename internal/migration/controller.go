@@ -36,6 +36,11 @@ type Config struct {
 	// TableEntries bounds the affinity cache; 0 selects an unbounded
 	// table (the §4.1 idealisation). The paper's Table 2 uses 8192.
 	TableEntries int
+	// TableLimit caps the unbounded table (TableEntries == 0) so hostile
+	// or enormous traces degrade (oldest entries dropped, counted in
+	// TableDropped) instead of exhausting host memory. 0 applies
+	// DefaultTableLimit; negative means truly unlimited.
+	TableLimit int
 	// TableWays is the affinity-cache associativity (paper: 4, skewed).
 	TableWays int
 	// NoL2Filtering disables the paper's L2 filtering (§3.4): the
@@ -67,7 +72,7 @@ func Table2Config() Config {
 // The affinity cache scales with the aggregate L2 capacity, as §3.5
 // prescribes ("the affinity cache size should be proportional to the
 // total on-chip L2 capacity"): 2048 entries per core at 25% sampling.
-func ConfigForCores(cores int) Config {
+func ConfigForCores(cores int) (Config, error) {
 	cfg := Table2Config()
 	cfg.TableEntries = 2048 * cores
 	switch cores {
@@ -81,10 +86,26 @@ func ConfigForCores(cores int) Config {
 		cfg.Ways = 8
 		cfg.Split8 = affinity.Table2Split8Config()
 	default:
-		panic(fmt.Sprintf("migration: unsupported core count %d", cores))
+		return Config{}, fmt.Errorf("migration: unsupported core count %d (want 2, 4 or 8)", cores)
+	}
+	return cfg, nil
+}
+
+// MustConfigForCores is ConfigForCores panicking on error, for call
+// sites with compile-time-constant core counts.
+func MustConfigForCores(cores int) Config {
+	cfg, err := ConfigForCores(cores)
+	if err != nil {
+		panic(err)
 	}
 	return cfg
 }
+
+// DefaultTableLimit is the entry cap applied to the unbounded affinity
+// table when Config.TableLimit is 0: 2^21 entries (an order of magnitude
+// above any of the paper's working sets) keeps memory bounded without
+// perturbing the reproduced experiments.
+const DefaultTableLimit = 1 << 21
 
 // Controller tracks the active core and decides migrations.
 type Controller struct {
@@ -103,13 +124,29 @@ type Controller struct {
 	L2MissUpdates uint64
 }
 
-// NewController builds a controller.
-func NewController(cfg Config) *Controller {
+// NewController builds a controller. Configuration problems — an
+// unsupported way count, a malformed mechanism or table shape — come
+// back as errors; MustNewController wraps them in a panic for call
+// sites with compile-time-constant configurations.
+func NewController(cfg Config) (*Controller, error) {
 	var table affinity.Table
 	if cfg.TableEntries == 0 {
-		table = affinity.NewUnbounded()
+		limit := cfg.TableLimit
+		if limit == 0 {
+			limit = DefaultTableLimit
+		}
+		table = affinity.NewUnboundedLimit(limit) // negative limit → unlimited
 	} else {
-		table = affinity.NewCache(cfg.TableEntries, cfg.TableWays)
+		ways := cfg.TableWays
+		if ways == 0 {
+			ways = 4
+		}
+		if ways < 1 || cfg.TableEntries < ways || cfg.TableEntries%ways != 0 ||
+			!isPow2(cfg.TableEntries/ways) {
+			return nil, fmt.Errorf("migration: affinity cache of %d entries / %d ways is not ways × power-of-two sets",
+				cfg.TableEntries, ways)
+		}
+		table = affinity.NewCache(cfg.TableEntries, ways)
 	}
 	var split affinity.Splitter
 	switch cfg.Ways {
@@ -117,6 +154,12 @@ func NewController(cfg Config) *Controller {
 		mc := cfg.Split2
 		if mc.WindowSize == 0 {
 			mc = affinity.MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 18}
+		}
+		if err := mc.Validate(); err != nil {
+			return nil, err
+		}
+		if err := checkSampleLimit(cfg.Split2SampleLimit, true); err != nil {
+			return nil, err
 		}
 		s2 := affinity.NewSplitter2(mc, table)
 		if cfg.Split2SampleLimit != 0 {
@@ -128,22 +171,63 @@ func NewController(cfg Config) *Controller {
 		if sc.X.WindowSize == 0 {
 			sc = affinity.Table2Config()
 		}
+		if err := sc.X.Validate(); err != nil {
+			return nil, err
+		}
+		if err := sc.Y.Validate(); err != nil {
+			return nil, err
+		}
+		if err := checkSampleLimit(sc.SampleLimit, false); err != nil {
+			return nil, err
+		}
 		split = affinity.NewSplitter4(sc, table)
 	case 8:
 		sc := cfg.Split8
 		if sc.X.WindowSize == 0 {
 			sc = affinity.Table2Split8Config()
 		}
+		for _, mc := range []affinity.MechConfig{sc.X, sc.Y, sc.Z} {
+			if err := mc.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		if err := checkSampleLimit(sc.SampleLimit, false); err != nil {
+			return nil, err
+		}
 		split = affinity.NewSplitter8(sc, table)
 	default:
-		panic(fmt.Sprintf("migration: unsupported Ways %d", cfg.Ways))
+		return nil, fmt.Errorf("migration: unsupported Ways %d (want 2, 4 or 8)", cfg.Ways)
 	}
 	return &Controller{
 		split:       split,
 		table:       table,
 		noFiltering: cfg.NoL2Filtering,
 		ptrOnly:     cfg.PointerLoadsOnly,
+	}, nil
+}
+
+// MustNewController is NewController panicking on error, for constant
+// configurations.
+func MustNewController(cfg Config) *Controller {
+	c, err := NewController(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// checkSampleLimit validates a §3.5 sampling limit; zeroOK admits 0 as
+// "sampling disabled" (the 2-way splitter's convention).
+func checkSampleLimit(limit uint32, zeroOK bool) error {
+	if limit == 0 && zeroOK {
+		return nil
+	}
+	if limit == 0 || limit > 31 {
+		return fmt.Errorf("migration: sample limit %d out of [1,31]", limit)
+	}
+	return nil
 }
 
 // Ways returns the number of cores the controller splits across.
@@ -210,5 +294,60 @@ func (c *Controller) AffinityCache() *affinity.Cache {
 	if ac, ok := c.table.(*affinity.Cache); ok {
 		return ac
 	}
+	return nil
+}
+
+// TableDropped returns how many affinity-table entries the unbounded
+// table's memory cap evicted (0 for a bounded cache, which recycles
+// entries by design — see Evictions on AffinityCache).
+func (c *Controller) TableDropped() uint64 {
+	if u, ok := c.table.(*affinity.Unbounded); ok {
+		return u.Dropped
+	}
+	return 0
+}
+
+// ControllerState is the serialisable state of a Controller, used by
+// the machine checkpoint/resume path.
+type ControllerState struct {
+	Split  affinity.SplitterState
+	Table  affinity.TableState
+	Active int
+
+	Migrations, Requests, L2MissUpdates uint64
+}
+
+// State returns a deep copy of the controller's state.
+func (c *Controller) State() (ControllerState, error) {
+	ts, err := affinity.CaptureTableState(c.table)
+	if err != nil {
+		return ControllerState{}, err
+	}
+	return ControllerState{
+		Split:         c.split.State(),
+		Table:         ts,
+		Active:        c.active,
+		Migrations:    c.Migrations,
+		Requests:      c.Requests,
+		L2MissUpdates: c.L2MissUpdates,
+	}, nil
+}
+
+// SetState restores a previously captured state. The receiving
+// controller must have been built from the same Config.
+func (c *Controller) SetState(st ControllerState) error {
+	if st.Active < 0 || st.Active >= c.split.Ways() {
+		return fmt.Errorf("migration: state active core %d out of %d ways", st.Active, c.split.Ways())
+	}
+	if err := c.split.SetState(st.Split); err != nil {
+		return err
+	}
+	if err := affinity.RestoreTableState(c.table, st.Table); err != nil {
+		return err
+	}
+	c.active = st.Active
+	c.Migrations = st.Migrations
+	c.Requests = st.Requests
+	c.L2MissUpdates = st.L2MissUpdates
 	return nil
 }

@@ -12,7 +12,7 @@ import (
 // TestControllerL2Filtering: with L2 filtering (default), OnRequest must
 // never migrate; migrations happen only through OnL2Miss.
 func TestControllerL2Filtering(t *testing.T) {
-	c := NewController(Table2Config())
+	c := MustNewController(Table2Config())
 	g := trace.NewCircular(24 << 10)
 	for i := 0; i < 200_000; i++ {
 		if _, migrated := c.OnRequest(mem.Line(g.Next())); migrated {
@@ -44,7 +44,7 @@ func TestControllerL2Filtering(t *testing.T) {
 func TestControllerNoFiltering(t *testing.T) {
 	cfg := Table2Config()
 	cfg.NoL2Filtering = true
-	c := NewController(cfg)
+	c := MustNewController(cfg)
 	g := trace.NewCircular(24 << 10)
 	migrated := false
 	for i := 0; i < 600_000; i++ {
@@ -60,14 +60,14 @@ func TestControllerNoFiltering(t *testing.T) {
 // TestControllerBoundedVsUnboundedTable: the bounded affinity cache must
 // be reachable through the accessor and actually bounded.
 func TestControllerBoundedVsUnboundedTable(t *testing.T) {
-	bounded := NewController(Table2Config())
+	bounded := MustNewController(Table2Config())
 	if bounded.AffinityCache() == nil {
 		t.Fatal("Table2 controller should expose its affinity cache")
 	}
 	if bounded.AffinityCache().Entries() != 8192 {
 		t.Fatalf("entries = %d", bounded.AffinityCache().Entries())
 	}
-	unbounded := NewController(Config{Split: affinity.Fig45Config()})
+	unbounded := MustNewController(Config{Split: affinity.Fig45Config()})
 	if unbounded.AffinityCache() != nil {
 		t.Fatal("unbounded controller should report nil affinity cache")
 	}

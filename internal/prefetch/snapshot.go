@@ -1,0 +1,54 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// StreamState is the serialisable state of one stream-table entry.
+type StreamState struct {
+	Last       mem.Line
+	Stride     int64
+	Confidence uint8
+	Stamp      uint64
+	Valid      bool
+}
+
+// State is the serialisable state of a Prefetcher, used by the machine
+// checkpoint/resume path.
+type State struct {
+	Streams   []StreamState
+	Clock     uint64
+	Trained   uint64
+	Allocated uint64
+}
+
+// State returns a deep copy of the prefetcher's current state.
+func (p *Prefetcher) State() State {
+	st := State{
+		Streams:   make([]StreamState, len(p.streams)),
+		Clock:     p.clock,
+		Trained:   p.Trained,
+		Allocated: p.Allocated,
+	}
+	for i, s := range p.streams {
+		st.Streams[i] = StreamState{Last: s.last, Stride: s.stride, Confidence: s.confidence, Stamp: s.stamp, Valid: s.valid}
+	}
+	return st
+}
+
+// SetState restores a previously captured state. The receiving
+// prefetcher must have the same stream-table size.
+func (p *Prefetcher) SetState(st State) error {
+	if len(st.Streams) != len(p.streams) {
+		return fmt.Errorf("prefetch: state has %d streams, prefetcher has %d", len(st.Streams), len(p.streams))
+	}
+	for i, s := range st.Streams {
+		p.streams[i] = stream{last: s.Last, stride: s.Stride, confidence: s.Confidence, stamp: s.Stamp, valid: s.Valid}
+	}
+	p.clock = st.Clock
+	p.Trained = st.Trained
+	p.Allocated = st.Allocated
+	return nil
+}

@@ -59,7 +59,11 @@ func Fig3(behavior string, cfg Fig3Config) ([]Fig3Result, error) {
 	case "circular":
 		g = trace.NewCircular(cfg.N)
 	case "halfrandom":
-		g = trace.NewHalfRandom(cfg.N, cfg.M, cfg.Seed)
+		hg, err := trace.NewHalfRandom(cfg.N, cfg.M, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g = hg
 	default:
 		return nil, fmt.Errorf("report: unknown behaviour %q (want circular or halfrandom)", behavior)
 	}

@@ -21,6 +21,10 @@ type ProfileResult struct {
 	Thresholds []int64
 	P1, P4     []float64
 	TransFreq  float64
+	// MaxLines is the per-stack live-line cap (0 = unbounded); Dropped
+	// counts the stack entries it evicted across all five stacks.
+	MaxLines int64
+	Dropped  uint64
 }
 
 // profiler implements mem.Sink: it filters the stream through 16 KB
@@ -36,15 +40,15 @@ type profiler struct {
 	shift    uint
 }
 
-func newProfiler(thresholds []int64, shift uint) *profiler {
+func newProfiler(thresholds []int64, shift uint, maxLines int64) *profiler {
 	linesPerL1 := (16 << 10) >> shift
 	return &profiler{
 		il1:    cache.NewFullyAssoc(linesPerL1),
 		dl1:    cache.NewFullyAssoc(linesPerL1),
-		single: lrustack.New(),
+		single: lrustack.NewLimited(maxLines),
 		p1:     lrustack.NewProfile(thresholds),
 		split:  affinity.NewSplitter4(affinity.Fig45Config(), affinity.NewUnbounded()),
-		multi:  lrustack.NewMultiStack(4, thresholds),
+		multi:  lrustack.NewMultiStackLimited(4, thresholds, maxLines),
 		shift:  shift,
 	}
 }
@@ -76,14 +80,25 @@ func (p *profiler) Access(addr mem.Addr, kind mem.Kind) {
 // Instr implements mem.Sink.
 func (p *profiler) Instr(n uint64) { p.instr += n }
 
-// LRUProfile runs a workload through the §4.1 experiment and returns its
-// p1/p4 profiles.
+// LRUProfile runs a workload through the §4.1 experiment with unbounded
+// stacks and returns its p1/p4 profiles.
 func LRUProfile(w workloads.Workload, budget uint64, lineShift uint) ProfileResult {
+	return LRUProfileCapped(w, budget, lineShift, 0)
+}
+
+// LRUProfileCapped is LRUProfile with the profiler's memory bounded:
+// each LRU stack (the single p1 stack and the four p4 stacks) tracks at
+// most maxLines live lines, evicting its least recently used entry past
+// the cap (0 = unbounded). The curves stay exact for thresholds up to
+// maxLines — so maxLines >= the largest threshold (256k lines for the
+// paper's 16 MB point) bounds memory without perturbing the figures —
+// and the evictions are accounted in ProfileResult.Dropped.
+func LRUProfileCapped(w workloads.Workload, budget uint64, lineShift uint, maxLines int64) ProfileResult {
 	if lineShift == 0 {
 		lineShift = mem.DefaultLineShift
 	}
 	th := lrustack.PaperThresholds(lineShift)
-	p := newProfiler(th, lineShift)
+	p := newProfiler(th, lineShift, maxLines)
 	w.Run(p, budget)
 
 	res := ProfileResult{
@@ -91,6 +106,8 @@ func LRUProfile(w workloads.Workload, budget uint64, lineShift uint) ProfileResu
 		Instr:      p.instr,
 		Refs:       p.p1.Refs,
 		Thresholds: th,
+		MaxLines:   maxLines,
+		Dropped:    p.single.Dropped() + p.multi.Dropped(),
 	}
 	for i := range th {
 		res.P1 = append(res.P1, p.p1.Frac(i))
@@ -143,7 +160,11 @@ func RenderProfile(r ProfileResult, height int) string {
 		height = 18
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d refs profiled, transition freq %.4f\n", r.Workload, r.Refs, r.TransFreq)
+	fmt.Fprintf(&b, "%s: %d refs profiled, transition freq %.4f", r.Workload, r.Refs, r.TransFreq)
+	if r.MaxLines > 0 {
+		fmt.Fprintf(&b, ", %d stack entries dropped (cap %d lines/stack)", r.Dropped, r.MaxLines)
+	}
+	b.WriteByte('\n')
 	cols := len(r.Thresholds)
 	grid := make([][]byte, height)
 	for i := range grid {

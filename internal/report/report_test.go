@@ -104,6 +104,38 @@ func TestLRUProfileShapes(t *testing.T) {
 	}
 }
 
+// TestLRUProfileCapped: the resource-bounded profiler must report its
+// evictions and keep every threshold at or below the cap exact.
+func TestLRUProfileCapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	reg := suite.Registry()
+	art, err := reg.New("179.art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := LRUProfile(art, 2_000_000, 6)
+	art2, _ := reg.New("179.art")
+	const cap = 4096 // lines: covers the 16KB..256KB thresholds
+	capped := LRUProfileCapped(art2, 2_000_000, 6, cap)
+	if capped.Dropped == 0 || capped.MaxLines != cap {
+		t.Fatalf("cap not exercised: %+v", capped)
+	}
+	for i, th := range capped.Thresholds {
+		if th > cap {
+			continue
+		}
+		if capped.P1[i] != full.P1[i] || capped.P4[i] != full.P4[i] {
+			t.Errorf("threshold %d: capped (%.6f, %.6f) != unbounded (%.6f, %.6f)",
+				th, capped.P1[i], capped.P4[i], full.P1[i], full.P4[i])
+		}
+	}
+	if out := RenderProfile(capped, 12); !strings.Contains(out, "entries dropped") {
+		t.Fatal("render missing dropped accounting")
+	}
+}
+
 // TestTable1Row checks the Table 1 measurement plumbing on a fast
 // workload.
 func TestTable1Row(t *testing.T) {

@@ -33,9 +33,9 @@ func SweepWorkingSet(sizes []uint64, laps uint64, cores int) []SweepPoint {
 	var out []SweepPoint
 	for _, ws := range sizes {
 		refs := laps * ws
-		normal := machine.New(machine.NormalConfig())
+		normal := machine.MustNew(machine.NormalConfig())
 		trace.Drive(trace.NewCircular(ws), normal, refs, 6, 3)
-		mig := machine.New(machine.MigrationConfigN(cores))
+		mig := machine.MustNew(machine.MigrationConfigN(cores))
 		trace.Drive(trace.NewCircular(ws), mig, refs, 6, 3)
 
 		p := SweepPoint{Lines: ws, Bytes: ws << 6}

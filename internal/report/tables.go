@@ -87,11 +87,11 @@ type Table2Row struct {
 // Table2 runs one workload through both machine configurations.
 func Table2(w func() workloads.Workload, budget uint64) Table2Row {
 	wl := w()
-	normal := machine.New(machine.NormalConfig())
+	normal := machine.MustNew(machine.NormalConfig())
 	wl.Run(normal, budget)
 
 	wl2 := w()
-	mig := machine.New(machine.MigrationConfig())
+	mig := machine.MustNew(machine.MigrationConfig())
 	wl2.Run(mig, budget)
 
 	row := Table2Row{

@@ -5,38 +5,97 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/mem"
 )
 
-// Trace file format: a 8-byte magic header, then one varint-encoded
-// record per event. Addresses are delta-encoded (zig-zag) against the
-// previous address of the same kind, which compresses the strided and
-// looping streams this repository produces by roughly 4-8x versus raw
-// 64-bit addresses.
+// Trace file format (version 2, "EMTRACE2"):
 //
-//	record = kind-tag (1 byte) + payload
-//	tag 0..3  = access of mem.Kind(tag), payload = zigzag delta varint
-//	tag 0xFE  = instruction batch, payload = count varint
-//	tag 0xFF  = end of trace
-const traceMagic = "EMTRACE1"
+//	header  = 8-byte magic "EMTRACE2" + 1 flags byte (reserved, 0)
+//	body    = one record per event
+//	record  = kind-tag (1 byte) + payload
+//	          tag 0..3  = access of mem.Kind(tag), payload = zigzag delta varint
+//	          tag 0xFE  = instruction batch, payload = count varint
+//	          tag 0xFF  = end of trace
+//	footer  = event count varint + 4-byte little-endian CRC32 (IEEE)
+//
+// Addresses are delta-encoded (zig-zag) against the previous address of
+// the same kind, which compresses the strided and looping streams this
+// repository produces by roughly 4-8x versus raw 64-bit addresses.
+//
+// The CRC covers every byte after the header up to and including the
+// event-count varint (so a corrupted count is detected too). The explicit
+// end-of-trace record plus the footer make truncation *detectable*: a
+// stream that ends before the 0xFF terminator and a complete footer is
+// reported as ErrTruncated, never as a silent success.
+//
+// Version 1 ("EMTRACE1") files — the same record stream with no flags
+// byte and no footer — are still readable; for them too, EOF before the
+// 0xFF terminator is ErrTruncated.
+const (
+	traceMagicV1 = "EMTRACE1"
+	traceMagicV2 = "EMTRACE2"
+)
 
-// Writer records a reference stream to an io.Writer. It implements
-// mem.Sink, so a workload can be traced by running it into a Writer; the
-// trace replays later through Reader without re-running the workload.
+// Sentinel errors for damaged traces. Errors returned by Reader methods
+// match these with errors.Is; the full error carries the byte offset at
+// which the damage was detected.
+var (
+	// ErrTruncated reports a trace that ended before its end-of-trace
+	// terminator (and, for version 2, its footer) was seen.
+	ErrTruncated = errors.New("trace truncated")
+	// ErrCorrupt reports structurally damaged trace content: an unknown
+	// record tag, an overlong varint, a CRC mismatch, or an event-count
+	// mismatch.
+	ErrCorrupt = errors.New("trace corrupt")
+)
+
+// FormatError is the concrete error type for damaged traces. It wraps
+// ErrTruncated or ErrCorrupt (use errors.Is) and records the byte offset
+// from the start of the stream at which the damage was detected.
+type FormatError struct {
+	// Offset is the byte offset (from the start of the stream, header
+	// included) where the problem was detected.
+	Offset int64
+	// Kind is ErrTruncated or ErrCorrupt.
+	Kind error
+	// Detail describes the specific damage.
+	Detail string
+}
+
+// Error implements error.
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("trace: %v at byte %d: %s", e.Kind, e.Offset, e.Detail)
+}
+
+// Unwrap lets errors.Is match ErrTruncated / ErrCorrupt.
+func (e *FormatError) Unwrap() error { return e.Kind }
+
+// Writer records a reference stream to an io.Writer in the version-2
+// format. It implements mem.Sink, so a workload can be traced by running
+// it into a Writer; the trace replays later through Reader without
+// re-running the workload.
 type Writer struct {
 	w      *bufio.Writer
 	last   [4]uint64 // previous address per kind
 	buf    [binary.MaxVarintLen64 + 1]byte
 	events uint64
+	crc    uint32
 	err    error
 }
 
-// NewWriter starts a trace on w.
+// NewWriter starts a version-2 trace on w.
 func NewWriter(w io.Writer) (*Writer, error) {
+	if w == nil {
+		return nil, errors.New("trace: nil writer")
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(traceMagic); err != nil {
+	if _, err := bw.WriteString(traceMagicV2); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(0); err != nil { // flags: none defined yet
 		return nil, err
 	}
 	return &Writer{w: bw}, nil
@@ -45,6 +104,14 @@ func NewWriter(w io.Writer) (*Writer, error) {
 func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 func unzigzag(u uint64) int64 {
 	return int64(u>>1) ^ -int64(u&1)
+}
+
+// write emits raw record bytes, folding them into the running CRC.
+func (t *Writer) write(p []byte) {
+	t.crc = crc32.Update(t.crc, crc32.IEEETable, p)
+	if _, err := t.w.Write(p); err != nil {
+		t.err = err
+	}
 }
 
 // Access implements mem.Sink.
@@ -56,9 +123,7 @@ func (t *Writer) Access(addr mem.Addr, kind mem.Kind) {
 	d := int64(uint64(addr) - t.last[kind])
 	n := binary.PutUvarint(t.buf[1:], zigzag(d))
 	t.last[kind] = uint64(addr)
-	if _, err := t.w.Write(t.buf[:n+1]); err != nil {
-		t.err = err
-	}
+	t.write(t.buf[:n+1])
 	t.events++
 }
 
@@ -69,18 +134,25 @@ func (t *Writer) Instr(n uint64) {
 	}
 	t.buf[0] = 0xFE
 	l := binary.PutUvarint(t.buf[1:], n)
-	if _, err := t.w.Write(t.buf[:l+1]); err != nil {
-		t.err = err
-	}
+	t.write(t.buf[:l+1])
 	t.events++
 }
 
-// Close terminates and flushes the trace.
+// Close terminates the trace: end-of-trace record, event count, CRC,
+// flush. A trace without a successful Close replays as ErrTruncated.
 func (t *Writer) Close() error {
 	if t.err != nil {
 		return t.err
 	}
-	if err := t.w.WriteByte(0xFF); err != nil {
+	t.buf[0] = 0xFF
+	n := binary.PutUvarint(t.buf[1:], t.events)
+	t.write(t.buf[:n+1])
+	if t.err != nil {
+		return t.err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], t.crc)
+	if _, err := t.w.Write(crcb[:]); err != nil {
 		return err
 	}
 	return t.w.Flush()
@@ -91,57 +163,223 @@ func (t *Writer) Events() uint64 { return t.events }
 
 var _ mem.Sink = (*Writer)(nil)
 
-// Reader replays a recorded trace into a mem.Sink.
+// countingReader wraps a bufio.Reader, tracking the byte offset consumed
+// and (when sum is set) a running CRC32 of consumed bytes.
+type countingReader struct {
+	br  *bufio.Reader
+	n   int64
+	crc uint32
+	sum bool
+}
+
+// ReadByte implements io.ByteReader.
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return b, err
+	}
+	c.n++
+	if c.sum {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, nil
+}
+
+// readFull fills p, updating offset and CRC.
+func (c *countingReader) readFull(p []byte) error {
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return err
+	}
+	c.n += int64(len(p))
+	if c.sum {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	}
+	return nil
+}
+
+// Reader replays a recorded trace into a mem.Sink. It accepts both
+// version-1 and version-2 files.
 type Reader struct {
-	r    *bufio.Reader
-	last [4]uint64
+	r       *countingReader
+	last    [4]uint64
+	version int
 }
 
 // NewReader validates the header and prepares replay.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	head := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	cr := &countingReader{br: bufio.NewReaderSize(r, 1<<16)}
+	head := make([]byte, len(traceMagicV2))
+	if err := cr.readFull(head); err != nil {
+		return nil, &FormatError{Offset: cr.n, Kind: ErrTruncated, Detail: "incomplete header"}
 	}
-	if string(head) != traceMagic {
-		return nil, errors.New("trace: bad magic (not an EMTRACE1 file)")
+	switch string(head) {
+	case traceMagicV1:
+		return &Reader{r: cr, version: 1}, nil
+	case traceMagicV2:
+		flags, err := cr.ReadByte()
+		if err != nil {
+			return nil, &FormatError{Offset: cr.n, Kind: ErrTruncated, Detail: "missing flags byte"}
+		}
+		if flags != 0 {
+			return nil, &FormatError{Offset: cr.n - 1, Kind: ErrCorrupt,
+				Detail: fmt.Sprintf("unsupported flags %#x", flags)}
+		}
+		cr.sum = true // CRC covers everything after the header
+		return &Reader{r: cr, version: 2}, nil
+	default:
+		return nil, errors.New("trace: bad magic (not an EMTRACE1/EMTRACE2 file)")
 	}
-	return &Reader{r: br}, nil
+}
+
+// Version returns the trace format version (1 or 2).
+func (t *Reader) Version() int { return t.version }
+
+// Offset returns the number of bytes consumed so far.
+func (t *Reader) Offset() int64 { return t.r.n }
+
+// ReplayOptions tunes Replay's damage handling.
+type ReplayOptions struct {
+	// ContinueOnCorrupt resynchronises after structurally corrupt
+	// content (unknown tags, overlong varints) instead of stopping: the
+	// reader scans forward byte-by-byte until a plausible record tag
+	// appears, counting what it skipped in ReplayStats. Replayed
+	// addresses after a corrupt region may be wrong (the delta decoder
+	// state is damaged); the mode exists to salvage event streams for
+	// robustness experiments, not to recover exact traces. Truncation
+	// (EOF before the terminator) still returns ErrTruncated — there is
+	// nothing left to resynchronise with.
+	ContinueOnCorrupt bool
+}
+
+// ReplayStats reports what a replay delivered and what it skipped.
+type ReplayStats struct {
+	// Events is the number of records delivered to the sink.
+	Events uint64
+	// SkippedBytes counts bytes discarded while resynchronising
+	// (ContinueOnCorrupt only).
+	SkippedBytes uint64
+	// Resyncs counts distinct corrupt regions skipped.
+	Resyncs uint64
+	// DeclaredEvents is the footer's event count (version 2; 0 for
+	// version 1).
+	DeclaredEvents uint64
+	// CRCVerified reports that a version-2 footer was read and its CRC
+	// matched the stream content.
+	CRCVerified bool
 }
 
 // Replay streams every event into sink and returns the event count. It
-// stops at the end-of-trace marker or EOF.
+// stops at the end-of-trace marker; a stream that ends without one
+// returns ErrTruncated, and structural damage returns ErrCorrupt (both
+// as *FormatError with the byte offset).
 func (t *Reader) Replay(sink mem.Sink) (uint64, error) {
-	var events uint64
+	st, err := t.ReplayWith(sink, ReplayOptions{})
+	return st.Events, err
+}
+
+// ReplayWith is Replay with explicit damage-handling options.
+func (t *Reader) ReplayWith(sink mem.Sink, opts ReplayOptions) (ReplayStats, error) {
+	var st ReplayStats
+	inBadRun := false
 	for {
+		tagOff := t.r.n
 		tag, err := t.r.ReadByte()
-		if err == io.EOF {
-			return events, nil
-		}
 		if err != nil {
-			return events, err
+			return st, &FormatError{Offset: tagOff, Kind: ErrTruncated,
+				Detail: "stream ended before end-of-trace record"}
 		}
 		switch {
 		case tag == 0xFF:
-			return events, nil
+			return st, t.finish(&st, opts)
 		case tag == 0xFE:
 			n, err := binary.ReadUvarint(t.r)
 			if err != nil {
-				return events, fmt.Errorf("trace: instr record: %w", err)
+				if fe := t.varintErr(tagOff, "instr record", err, opts, &st, &inBadRun); fe != nil {
+					return st, fe
+				}
+				continue
 			}
 			sink.Instr(n)
 		case tag <= 3:
 			u, err := binary.ReadUvarint(t.r)
 			if err != nil {
-				return events, fmt.Errorf("trace: access record: %w", err)
+				if fe := t.varintErr(tagOff, "access record", err, opts, &st, &inBadRun); fe != nil {
+					return st, fe
+				}
+				continue
 			}
 			addr := t.last[tag] + uint64(unzigzag(u))
 			t.last[tag] = addr
 			sink.Access(mem.Addr(addr), mem.Kind(tag))
 		default:
-			return events, fmt.Errorf("trace: unknown record tag %#x", tag)
+			if !opts.ContinueOnCorrupt {
+				return st, &FormatError{Offset: tagOff, Kind: ErrCorrupt,
+					Detail: fmt.Sprintf("unknown record tag %#x", tag)}
+			}
+			st.SkippedBytes++
+			if !inBadRun {
+				st.Resyncs++
+				inBadRun = true
+			}
+			continue
 		}
-		events++
+		inBadRun = false
+		st.Events++
 	}
+}
+
+// varintErr classifies a varint read failure: EOF is truncation (fatal
+// even with ContinueOnCorrupt), overflow is corruption (resyncable). It
+// returns nil when the caller should resynchronise and continue.
+func (t *Reader) varintErr(off int64, what string, err error, opts ReplayOptions, st *ReplayStats, inBadRun *bool) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return &FormatError{Offset: t.r.n, Kind: ErrTruncated,
+			Detail: fmt.Sprintf("stream ended inside %s starting at byte %d", what, off)}
+	}
+	if !opts.ContinueOnCorrupt {
+		return &FormatError{Offset: off, Kind: ErrCorrupt,
+			Detail: fmt.Sprintf("%s: %v", what, err)}
+	}
+	st.SkippedBytes += uint64(t.r.n - off)
+	if !*inBadRun {
+		st.Resyncs++
+		*inBadRun = true
+	}
+	return nil
+}
+
+// finish validates the footer after the end-of-trace record. Truncation
+// inside the footer is always fatal; CRC and event-count mismatches are
+// fatal only without ContinueOnCorrupt (with it, the caller reads the
+// damage off ReplayStats: CRCVerified false, Events vs DeclaredEvents).
+func (t *Reader) finish(st *ReplayStats, opts ReplayOptions) error {
+	if t.version == 1 {
+		return nil
+	}
+	declared, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return &FormatError{Offset: t.r.n, Kind: ErrTruncated, Detail: "stream ended inside footer event count"}
+	}
+	st.DeclaredEvents = declared
+	// The CRC bytes themselves are not part of the checksum.
+	t.r.sum = false
+	want := t.r.crc
+	var crcb [4]byte
+	if err := t.r.readFull(crcb[:]); err != nil {
+		return &FormatError{Offset: t.r.n, Kind: ErrTruncated, Detail: "stream ended inside footer CRC"}
+	}
+	got := binary.LittleEndian.Uint32(crcb[:])
+	if got != want {
+		if opts.ContinueOnCorrupt {
+			return nil
+		}
+		return &FormatError{Offset: t.r.n - 4, Kind: ErrCorrupt,
+			Detail: fmt.Sprintf("CRC mismatch: stream %#08x, footer %#08x", want, got)}
+	}
+	st.CRCVerified = true
+	if declared != st.Events && !opts.ContinueOnCorrupt {
+		return &FormatError{Offset: t.r.n, Kind: ErrCorrupt,
+			Detail: fmt.Sprintf("event count mismatch: replayed %d, footer declares %d", st.Events, declared)}
+	}
+	return nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 
@@ -103,28 +105,198 @@ func TestTraceBadMagic(t *testing.T) {
 	}
 }
 
-// TestTraceTruncated: a truncated stream reports an error rather than
-// silently stopping inside a record.
+// TestTraceTruncated: replaying a trace truncated at ANY byte offset
+// must return ErrTruncated (or a header error for cuts inside the
+// header) — never a silent success.
 func TestTraceTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Access(1<<30, mem.Load)
+	w.Instr(17)
 	w.Access(1<<31, mem.Store)
 	w.Close()
 	raw := buf.Bytes()
-	// Cut inside the final record's varint.
-	cut := raw[:len(raw)-2]
-	r, err := NewReader(bytes.NewReader(cut))
+	for cut := 0; cut < len(raw); cut++ {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			// Cuts inside the header fail at NewReader; those within the
+			// magic report a generic header error, later ones truncation.
+			continue
+		}
+		_, err = r.Replay(mem.NullSink{})
+		if err == nil {
+			t.Fatalf("truncation at byte %d/%d replayed as success", cut, len(raw))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at byte %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	// The untruncated trace still replays cleanly.
+	r, err := NewReader(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var count int
-	_, err = r.Replay(sinkFunc{
-		access: func(mem.Addr, mem.Kind) { count++ },
+	if n, err := r.Replay(mem.NullSink{}); err != nil || n != 3 {
+		t.Fatalf("full replay: n=%d err=%v", n, err)
+	}
+}
+
+// writeV1 hand-crafts a version-1 trace (no flags byte, no footer) so
+// backward-compatible reading stays covered without a v1 writer.
+func writeV1(events []func(buf *bytes.Buffer), terminated bool) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("EMTRACE1")
+	for _, ev := range events {
+		ev(&buf)
+	}
+	if terminated {
+		buf.WriteByte(0xFF)
+	}
+	return buf.Bytes()
+}
+
+func v1Access(kind mem.Kind, delta int64) func(*bytes.Buffer) {
+	return func(buf *bytes.Buffer) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.WriteByte(byte(kind))
+		n := binary.PutUvarint(tmp[:], zigzag(delta))
+		buf.Write(tmp[:n])
+	}
+}
+
+// TestTraceV1Compat: version-1 traces still replay, and a v1 stream
+// without the 0xFF terminator is ErrTruncated, not a silent success.
+func TestTraceV1Compat(t *testing.T) {
+	full := writeV1([]func(*bytes.Buffer){v1Access(mem.Load, 100), v1Access(mem.Load, 64)}, true)
+	r, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 1 {
+		t.Fatalf("version = %d, want 1", r.Version())
+	}
+	var got []mem.Addr
+	n, err := r.Replay(sinkFunc{
+		access: func(a mem.Addr, k mem.Kind) { got = append(got, a) },
 		instr:  func(uint64) {},
 	})
-	if err == nil && count != 2 {
-		t.Fatalf("truncated replay: %d events, err=%v", count, err)
+	if err != nil || n != 2 || got[0] != 100 || got[1] != 164 {
+		t.Fatalf("v1 replay: n=%d err=%v got=%v", n, err, got)
+	}
+
+	for cut := len("EMTRACE1"); cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("v1 header rejected at cut %d: %v", cut, err)
+		}
+		if _, err := r.Replay(mem.NullSink{}); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("v1 truncation at byte %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestTraceCorrupt: flipped bytes are detected — either immediately as a
+// bad record, or at the footer CRC — and the error carries an offset.
+func TestTraceCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rng := NewRNG(9)
+	for i := 0; i < 2000; i++ {
+		w.Access(mem.Addr(rng.Uint64n(1<<30)), mem.Kind(rng.Uint64n(4)))
+	}
+	w.Close()
+	raw := buf.Bytes()
+
+	detected := 0
+	for trial := 0; trial < 200; trial++ {
+		pos := 9 + int(rng.Uint64n(uint64(len(raw)-9)))
+		bit := byte(1) << rng.Uint64n(8)
+		corrupted := append([]byte(nil), raw...)
+		corrupted[pos] ^= bit
+		r, err := NewReader(bytes.NewReader(corrupted))
+		if err != nil {
+			continue // flags byte corrupted: rejected at open, fine
+		}
+		_, err = r.Replay(mem.NullSink{})
+		if err == nil {
+			t.Fatalf("bit flip at byte %d replayed as success", pos)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", pos, err)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("bit flip at byte %d: error %v carries no offset", pos, err)
+		}
+		detected++
+	}
+	if detected == 0 {
+		t.Fatal("no corruption trial was detectable")
+	}
+}
+
+// TestReplayContinueOnCorrupt: resynchronisation skips damaged bytes,
+// counts them, and keeps delivering events.
+func TestReplayContinueOnCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Instr(7) // tag 0xFE + 1-byte varint: offsets are predictable
+	}
+	w.Close()
+	raw := buf.Bytes()
+	// Each record is 2 bytes (tag 0xFE + varint 7) after the 9-byte
+	// header, so tags sit at odd offsets. Overwrite three records with
+	// 0x10 — an invalid tag — starting at a tag position.
+	for i := 41; i < 47; i++ {
+		raw[i] = 0x10
+	}
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.ReplayWith(mem.NullSink{}, ReplayOptions{ContinueOnCorrupt: true})
+	if err != nil {
+		t.Fatalf("resync replay failed: %v", err)
+	}
+	if st.SkippedBytes == 0 || st.Resyncs == 0 {
+		t.Fatalf("no damage recorded: %+v", st)
+	}
+	if st.Events >= 100 || st.Events < 90 {
+		t.Fatalf("events = %d, want a bit under 100", st.Events)
+	}
+	if st.CRCVerified {
+		t.Fatal("CRC reported verified over damaged content")
+	}
+	if st.DeclaredEvents != 100 {
+		t.Fatalf("declared events = %d, want 100", st.DeclaredEvents)
+	}
+
+	// Strict mode rejects the same stream.
+	r2, _ := NewReader(bytes.NewReader(raw))
+	if _, err := r2.Replay(mem.NullSink{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict replay of damaged stream: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTraceFooter: the footer carries the event count and a verified CRC.
+func TestTraceFooter(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Access(4096, mem.Load)
+	w.Instr(3)
+	w.Close()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.ReplayWith(mem.NullSink{}, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CRCVerified || st.DeclaredEvents != 2 || st.Events != 2 {
+		t.Fatalf("footer stats: %+v", st)
 	}
 }
 

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// fuzzSeedTraces builds a small corpus of valid traces (v1 and v2) so
+// the fuzzer starts from structurally meaningful inputs.
+func fuzzSeedTraces() [][]byte {
+	var seeds [][]byte
+
+	var v2 bytes.Buffer
+	w, _ := NewWriter(&v2)
+	rng := NewRNG(1)
+	for i := 0; i < 500; i++ {
+		switch rng.Uint64n(5) {
+		case 0:
+			w.Instr(rng.Uint64n(1000) + 1)
+		default:
+			w.Access(mem.Addr(rng.Uint64n(1<<40)), mem.Kind(rng.Uint64n(4)))
+		}
+	}
+	w.Close()
+	seeds = append(seeds, v2.Bytes())
+
+	v1 := writeV1([]func(*bytes.Buffer){
+		v1Access(mem.Load, 4096),
+		v1Access(mem.Store, -64),
+		v1Access(mem.IFetch, 1<<20),
+	}, true)
+	seeds = append(seeds, v1)
+
+	// A truncated v2 trace and a few degenerate inputs.
+	seeds = append(seeds,
+		v2.Bytes()[:len(v2.Bytes())/2],
+		[]byte("EMTRACE2"),
+		[]byte("EMTRACE1"),
+		[]byte{},
+	)
+	return seeds
+}
+
+// FuzzReplay: arbitrary bytes must never panic the reader. Every outcome
+// is either a clean replay or a typed error (ErrTruncated / ErrCorrupt /
+// a header error); ContinueOnCorrupt must uphold the same guarantee.
+func FuzzReplay(f *testing.F) {
+	for _, s := range fuzzSeedTraces() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range []ReplayOptions{{}, {ContinueOnCorrupt: true}} {
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			st, err := r.ReplayWith(mem.NullSink{}, opts)
+			if err != nil {
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("untyped replay error: %v", err)
+				}
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("replay error without offset: %v", err)
+				}
+				if fe.Offset < 0 || fe.Offset > int64(len(data)) {
+					t.Fatalf("offset %d outside input of %d bytes", fe.Offset, len(data))
+				}
+				continue
+			}
+			// Clean termination requires having actually seen the
+			// end-of-trace record; the reader cannot have consumed more
+			// than the input.
+			if r.Offset() > int64(len(data)) {
+				t.Fatalf("consumed %d of %d bytes", r.Offset(), len(data))
+			}
+			_ = st
+		}
+	})
+}
+
+// TestFuzzCorpusSmoke runs the fuzz body over the seed corpus in a plain
+// test, so `go test` exercises it even without -fuzz.
+func TestFuzzCorpusSmoke(t *testing.T) {
+	for i, s := range fuzzSeedTraces() {
+		r, err := NewReader(bytes.NewReader(s))
+		if err != nil {
+			continue
+		}
+		if _, err := r.Replay(mem.NullSink{}); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("seed %d: untyped error %v", i, err)
+			}
+		}
+	}
+}
+

@@ -1,6 +1,21 @@
 package trace
 
-import "repro/internal/mem"
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Must panics on err and otherwise returns g. It wraps the
+// error-returning generator constructors at call sites whose parameters
+// are compile-time constants (examples, tests), where a configuration
+// error is an internal invariant violation rather than user input.
+func Must[G any](g G, err error) G {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
 
 // Generator produces an infinite stream of working-set element references.
 // Elements are abstract indices in [0, N); callers map them onto line
@@ -52,14 +67,14 @@ type HalfRandom struct {
 
 // NewHalfRandom returns a HalfRandom(m) generator over N elements, seeded
 // deterministically. N must be even and >= 2; m must be >= 1.
-func NewHalfRandom(n, m uint64, seed uint64) *HalfRandom {
+func NewHalfRandom(n, m uint64, seed uint64) (*HalfRandom, error) {
 	if n < 2 || n%2 != 0 {
-		panic("trace: HalfRandom needs even N >= 2")
+		return nil, fmt.Errorf("trace: HalfRandom needs even N >= 2, got %d", n)
 	}
 	if m == 0 {
-		panic("trace: HalfRandom needs m >= 1")
+		return nil, fmt.Errorf("trace: HalfRandom needs m >= 1")
 	}
-	return &HalfRandom{N: n, M: m, rng: NewRNG(seed), remaining: m, lowerHalf: true}
+	return &HalfRandom{N: n, M: m, rng: NewRNG(seed), remaining: m, lowerHalf: true}, nil
 }
 
 // Next implements Generator.
@@ -89,11 +104,11 @@ type Uniform struct {
 }
 
 // NewUniform returns a Uniform generator over N elements.
-func NewUniform(n uint64, seed uint64) *Uniform {
+func NewUniform(n uint64, seed uint64) (*Uniform, error) {
 	if n == 0 {
-		panic("trace: Uniform needs N >= 1")
+		return nil, fmt.Errorf("trace: Uniform needs N >= 1")
 	}
-	return &Uniform{N: n, rng: NewRNG(seed)}
+	return &Uniform{N: n, rng: NewRNG(seed)}, nil
 }
 
 // Next implements Generator.
@@ -111,11 +126,11 @@ type Strided struct {
 }
 
 // NewStrided returns a Strided generator.
-func NewStrided(n, stride uint64) *Strided {
+func NewStrided(n, stride uint64) (*Strided, error) {
 	if n == 0 || stride == 0 {
-		panic("trace: Strided needs N >= 1 and stride >= 1")
+		return nil, fmt.Errorf("trace: Strided needs N >= 1 and stride >= 1, got N=%d stride=%d", n, stride)
 	}
-	return &Strided{N: n, Stride: stride}
+	return &Strided{N: n, Stride: stride}, nil
 }
 
 // Next implements Generator.
@@ -141,11 +156,11 @@ type Phased struct {
 
 // NewPhased returns a Phased generator cycling through gens, phaseLen
 // references per phase.
-func NewPhased(phaseLen uint64, gens ...Generator) *Phased {
+func NewPhased(phaseLen uint64, gens ...Generator) (*Phased, error) {
 	if len(gens) == 0 || phaseLen == 0 {
-		panic("trace: Phased needs at least one generator and phaseLen >= 1")
+		return nil, fmt.Errorf("trace: Phased needs at least one generator and phaseLen >= 1")
 	}
-	return &Phased{Gens: gens, PhaseLen: phaseLen, remaining: phaseLen}
+	return &Phased{Gens: gens, PhaseLen: phaseLen, remaining: phaseLen}, nil
 }
 
 // Next implements Generator.

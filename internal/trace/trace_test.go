@@ -105,7 +105,7 @@ func TestCircular(t *testing.T) {
 // the upper, strictly alternating.
 func TestHalfRandomAlternation(t *testing.T) {
 	const n, m = 100, 7
-	g := NewHalfRandom(n, m, 1)
+	g := Must(NewHalfRandom(n, m, 1))
 	for block := 0; block < 40; block++ {
 		lower := block%2 == 0
 		for i := 0; i < m; i++ {
@@ -120,23 +120,18 @@ func TestHalfRandomAlternation(t *testing.T) {
 	}
 }
 
-// TestHalfRandomValidation: bad parameters must panic.
+// TestHalfRandomValidation: bad parameters must return an error.
 func TestHalfRandomValidation(t *testing.T) {
 	for _, tc := range []struct{ n, m uint64 }{{3, 1}, {0, 1}, {10, 0}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewHalfRandom(%d,%d) did not panic", tc.n, tc.m)
-				}
-			}()
-			NewHalfRandom(tc.n, tc.m, 0)
-		}()
+		if _, err := NewHalfRandom(tc.n, tc.m, 0); err == nil {
+			t.Errorf("NewHalfRandom(%d,%d) accepted", tc.n, tc.m)
+		}
 	}
 }
 
 // TestUniformBounds: all draws in range, all elements eventually hit.
 func TestUniformBounds(t *testing.T) {
-	g := NewUniform(10, 2)
+	g := Must(NewUniform(10, 2))
 	seen := map[uint64]bool{}
 	for i := 0; i < 10_000; i++ {
 		v := g.Next()
@@ -153,7 +148,7 @@ func TestUniformBounds(t *testing.T) {
 // TestStrided: exact wrap behaviour, including co-prime and non-co-prime
 // strides.
 func TestStrided(t *testing.T) {
-	g := NewStrided(6, 4)
+	g := Must(NewStrided(6, 4))
 	want := []uint64{0, 4, 2, 0, 4, 2}
 	for i, w := range want {
 		if v := g.Next(); v != w {
@@ -164,7 +159,7 @@ func TestStrided(t *testing.T) {
 
 // TestPhased: round-robin phase switching at exact boundaries.
 func TestPhased(t *testing.T) {
-	g := NewPhased(3, NewCircular(2), Offset{G: NewCircular(2), Delta: 100})
+	g := Must(NewPhased(3, NewCircular(2), Offset{G: NewCircular(2), Delta: 100}))
 	want := []uint64{0, 1, 0, 100, 101, 100, 1, 0, 1, 101, 100, 101}
 	for i, w := range want {
 		if v := g.Next(); v != w {
