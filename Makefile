@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench short check fuzz results clean
+.PHONY: all build test vet bench gobench short check fuzz results clean
 
 all: build vet test
 
@@ -32,7 +32,15 @@ test:
 short:
 	$(GO) test -short ./...
 
+# Benchmark report: hot-path ns/ref + allocs/op per machine config and
+# the serial-vs-parallel sweep speedup, as JSON. DESIGN.md ("Reading
+# BENCH_simulator.json") documents the fields.
 bench:
+	$(GO) run ./cmd/benchreport -o BENCH_simulator.json
+	cat BENCH_simulator.json
+
+# The raw go-test benchmarks (ns/op + allocs/op per benchmark).
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full-scale regeneration of every table and figure (≈15 min on one core).
@@ -43,4 +51,4 @@ results:
 	$(GO) run ./cmd/tables     -instr 100000000 > results/tables_100M.txt
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt BENCH_simulator.json

@@ -9,6 +9,7 @@
 //	affinityviz -behavior circular   # one behaviour
 //	affinityviz -csv                 # element,affinity rows per panel
 //	affinityviz -n 4000 -r 100       # working-set size and |R|
+//	affinityviz -j 2                 # worker pool (0 = all cores, 1 = serial)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 		r        = flag.Int("r", 100, "R-window size |R|")
 		m        = flag.Uint64("m", 300, "HalfRandom(m) run length")
 		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
+		jobs     = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
 	)
 	flag.Parse()
 
@@ -35,16 +37,23 @@ func main() {
 	cfg.Window = *r
 	cfg.M = *m
 
+	var behaviors []string
+	for _, b := range strings.Split(*behavior, ",") {
+		behaviors = append(behaviors, strings.TrimSpace(b))
+	}
+
+	// Behaviours fan out across the pool; output order follows the
+	// -behavior list, so panels are byte-identical for every -j.
+	batches, err := report.Fig3Batch(behaviors, cfg, report.RunOptions{Workers: *jobs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *csv {
 		fmt.Println("behavior,t,element,affinity")
 	}
-	for _, b := range strings.Split(*behavior, ",") {
-		b = strings.TrimSpace(b)
-		results, err := report.Fig3(b, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	for _, results := range batches {
 		for _, res := range results {
 			if *csv {
 				for e, a := range res.Affinities {

@@ -1,0 +1,211 @@
+// Command benchreport measures the simulator's hot-path cost and the
+// experiment engine's parallel speedup, and writes the results as a
+// machine-readable JSON document (BENCH_simulator.json via `make
+// bench`). Three measurements:
+//
+//   - ns/ref of Machine.Access+Instr on warm machines, per configuration
+//     (the same steady-state mix the allocation-regression test drives)
+//   - allocs/op of the same loop (must be 0 — the CI gate)
+//   - wall-clock of the working-set sweep serially vs through the worker
+//     pool, and the resulting speedup
+//
+// Speedup is only meaningful relative to the recorded "cpus" field: on
+// a single-core host the parallel path cannot beat the serial one and
+// the ratio documents scheduling overhead instead.
+//
+// Usage:
+//
+//	benchreport                    # print JSON to stdout
+//	benchreport -o BENCH_simulator.json
+//	benchreport -refs 2000000 -laps 20 -j 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/migration"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	// Workers is the pool size the parallel sweep ran with (resolved
+	// from -j; 0 on the command line means all CPUs).
+	Workers int `json:"workers"`
+
+	// HotPath has one entry per machine configuration.
+	HotPath []HotPathResult `json:"hot_path"`
+
+	// Sweep compares the serial and parallel experiment engine on the
+	// same working-set sweep.
+	Sweep SweepResult `json:"sweep"`
+}
+
+// HotPathResult is the steady-state per-reference cost of one machine
+// configuration.
+type HotPathResult struct {
+	Config      string  `json:"config"`
+	Refs        uint64  `json:"refs"`
+	NsPerRef    float64 `json:"ns_per_ref"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// SweepResult records the serial-vs-parallel wall clock of the sweep.
+type SweepResult struct {
+	Points     int     `json:"points"`
+	Laps       uint64  `json:"laps"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "", "write the JSON report to this file (default: stdout)")
+		refs = flag.Uint64("refs", 2_000_000, "references per hot-path timing loop")
+		laps = flag.Uint64("laps", 20, "laps per sweep point")
+		jobs = flag.Int("j", 0, "worker pool for the parallel sweep: 0 = all cores")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	rep := Report{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+	}
+
+	for _, cfg := range hotPathConfigs() {
+		fmt.Fprintf(os.Stderr, "benchreport: hot path %-14s %d refs...\n", cfg.name, *refs)
+		rep.HotPath = append(rep.HotPath, measureHotPath(cfg, *refs))
+	}
+
+	sizes := report.DefaultSweepSizes()
+	fmt.Fprintf(os.Stderr, "benchreport: sweep %d points x %d laps, serial...\n", len(sizes), *laps)
+	serialPts, serialDur, err := timeSweep(sizes, *laps, 1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: sweep parallel, %d workers...\n", workers)
+	parallelPts, parallelDur, err := timeSweep(sizes, *laps, workers)
+	if err != nil {
+		fail(err)
+	}
+	// The benchmark doubles as the determinism guard: refuse to report a
+	// speedup for output that diverged.
+	for i := range serialPts {
+		if serialPts[i] != parallelPts[i] {
+			fail(fmt.Errorf("benchreport: sweep point %d diverged between serial and parallel", i))
+		}
+	}
+	rep.Sweep = SweepResult{
+		Points:     len(sizes),
+		Laps:       *laps,
+		SerialMs:   float64(serialDur.Microseconds()) / 1e3,
+		ParallelMs: float64(parallelDur.Microseconds()) / 1e3,
+		Speedup:    float64(serialDur) / float64(parallelDur),
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", *out)
+}
+
+type hotPathConfig struct {
+	name string
+	cfg  machine.Config
+}
+
+// hotPathConfigs mirrors the regimes of the allocation-regression test:
+// baseline, Table 2 affinity cache, and the capped unbounded table.
+func hotPathConfigs() []hotPathConfig {
+	unboundedCfg := machine.MigrationConfigN(4)
+	mc := migration.MustConfigForCores(4)
+	mc.TableEntries = 0
+	unboundedCfg.Migration = &mc
+	return []hotPathConfig{
+		{"normal", machine.NormalConfig()},
+		{"migration", machine.MigrationConfig()},
+		{"migration-utab", unboundedCfg},
+	}
+}
+
+// measureHotPath times the steady-state reference mix on a warm machine
+// and measures its allocs/op the same way the regression test does.
+func measureHotPath(c hotPathConfig, refs uint64) HotPathResult {
+	m := machine.MustNew(c.cfg)
+	trace.Drive(trace.NewCircular(24<<10), m, 100_000, 6, 3)
+
+	g := trace.NewCircular(24 << 10)
+	var i uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		steadyRef(m, g, i)
+		i++
+	})
+
+	g = trace.NewCircular(24 << 10)
+	start := time.Now()
+	for i := uint64(0); i < refs; i++ {
+		steadyRef(m, g, i)
+	}
+	elapsed := time.Since(start)
+
+	return HotPathResult{
+		Config:      c.name,
+		Refs:        refs,
+		NsPerRef:    float64(elapsed.Nanoseconds()) / float64(refs),
+		AllocsPerOp: allocs,
+	}
+}
+
+// steadyRef is the deterministic load/store/ifetch mix shared with the
+// machine package's steady-state benchmark.
+func steadyRef(m *machine.Machine, g *trace.Circular, i uint64) {
+	line := mem.Line(g.Next())
+	switch i % 8 {
+	case 0:
+		m.Access(mem.AddrOf(line, 6), mem.IFetch)
+	case 1:
+		m.Access(mem.AddrOf(line, 6), mem.Store)
+	default:
+		m.Access(mem.AddrOf(line, 6), mem.Load)
+	}
+	m.Instr(3)
+}
+
+// timeSweep runs the working-set sweep with the given worker count and
+// returns its points and wall-clock duration.
+func timeSweep(sizes []uint64, laps uint64, workers int) ([]report.SweepPoint, time.Duration, error) {
+	start := time.Now()
+	pts, err := report.SweepWorkingSetOpt(sizes, laps, 4, report.RunOptions{Workers: workers})
+	return pts, time.Since(start), err
+}

@@ -11,6 +11,8 @@
 //	emsim -replay mcf.trace              # drive the machines from a trace
 //	emsim -checkpoint run.ckpt -checkpoint-every 1000000
 //	emsim -resume run.ckpt               # continue an interrupted run
+//	emsim -j 2                           # run the two machines concurrently
+//	emsim -cpuprofile cpu.pprof -memprofile mem.pprof
 //	emsim -list
 //
 // A SIGINT (ctrl-C) mid-run stops the simulation at the next event,
@@ -23,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 
 	"repro/internal/migration"
@@ -42,6 +46,9 @@ func main() {
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "events between periodic checkpoints (0 = only on interrupt)")
 		resume    = flag.String("resume", "", "resume from this checkpoint file (run parameters come from the checkpoint)")
 		list      = flag.Bool("list", false, "list available workloads")
+		jobs      = flag.Int("j", 0, "worker pool for the two machine passes: 0 = all cores, 1 = serial legacy tee pass (checkpoint/resume force serial)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -71,6 +78,7 @@ func main() {
 		Instr:           *instr,
 		Cores:           *cores,
 		Replay:          *replay,
+		Workers:         *jobs,
 		Checkpoint:      *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
@@ -111,14 +119,70 @@ func main() {
 	p.stop = &stop
 	watchInterrupt(&stop)
 
-	res, err := run(&p)
+	stopProfiles, err := startProfiles(*cpuprof, *memprof)
 	if err != nil {
 		fail(err)
 	}
+
+	res, err := run(&p)
+	if err != nil {
+		stopProfiles()
+		fail(err)
+	}
 	report(p, res)
+	// os.Exit skips deferred calls, so the profiles are flushed
+	// explicitly before any exit path below.
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
 	if res.Interrupted {
 		os.Exit(130) // conventional exit code for SIGINT-terminated work
 	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the
+// function that flushes them: it stops the CPU profile and writes the
+// heap profile (after a GC, so the numbers reflect live steady-state
+// memory rather than collectible garbage).
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	var done bool
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // watchInterrupt arms the graceful-stop handler: the first SIGINT sets

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workloads/suite"
 )
@@ -20,6 +22,12 @@ type runParams struct {
 	Instr    uint64
 	Cores    int
 	Replay   string // drive from this trace file instead of a workload
+
+	// Workers sets the worker pool for the two machine passes: 0 = all
+	// cores, 1 = the legacy serial tee pass. Checkpointing and resuming
+	// force the serial path regardless (a checkpoint must capture both
+	// machines at the same event).
+	Workers int
 
 	Checkpoint      string // checkpoint file path ("" = no checkpointing)
 	CheckpointEvery uint64 // events between periodic checkpoints (0 = only on interrupt)
@@ -89,22 +97,33 @@ type ckptSink struct {
 	after  uint64
 }
 
+// Access and Instr inline the shared per-event bookkeeping instead of
+// delegating through a step(func()) helper: the closure that would
+// capture addr/kind costs an allocation per event on the hot path.
+
 func (c *ckptSink) Access(addr mem.Addr, kind mem.Kind) {
-	c.step(func() { c.inner.Access(addr, kind) })
-}
-
-func (c *ckptSink) Instr(n uint64) {
-	c.step(func() { c.inner.Instr(n) })
-}
-
-func (c *ckptSink) step(deliver func()) {
 	c.events++
 	if c.events > c.skip {
-		deliver()
+		c.inner.Access(addr, kind)
 		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
 			c.save(c.events)
 		}
 	}
+	c.checkStop()
+}
+
+func (c *ckptSink) Instr(n uint64) {
+	c.events++
+	if c.events > c.skip {
+		c.inner.Instr(n)
+		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
+			c.save(c.events)
+		}
+	}
+	c.checkStop()
+}
+
+func (c *ckptSink) checkStop() {
 	if (c.stop != nil && c.stop.Load()) || (c.after > 0 && c.events == c.after) {
 		panic(stopRun{})
 	}
@@ -172,6 +191,13 @@ func run(p *runParams) (*runResult, error) {
 	mig, err := machine.New(machine.MigrationConfigN(p.Cores))
 	if err != nil {
 		return nil, err
+	}
+
+	// With no checkpoint state in play the two machines never need to
+	// agree on an event boundary, so they can consume independent copies
+	// of the (deterministic) input stream concurrently.
+	if p.Workers != 1 && p.Checkpoint == "" && resumeCk == nil {
+		return runIndependent(p, normal, mig)
 	}
 
 	var skip uint64
@@ -262,5 +288,37 @@ func run(p *runParams) (*runResult, error) {
 		Events:      sink.events,
 		Interrupted: interrupted,
 		Resumed:     skip,
+	}, nil
+}
+
+// runIndependent drives the two machines as separate passes over the
+// input through the worker pool. Each pass regenerates the workload (or
+// reopens the trace) itself, so it observes the exact event stream the
+// serial tee would have delivered and the stats are bit-identical to
+// the serial path. The -stop-after test hook counts events per pass and
+// so also stops deterministically; only an asynchronous SIGINT may
+// catch the two passes at different events, in which case the partial
+// report covers whatever each machine had consumed.
+func runIndependent(p *runParams, normal, mig *machine.Machine) (*runResult, error) {
+	sinks := [2]*ckptSink{
+		{inner: normal, stop: p.stop, after: p.stopAfter},
+		{inner: mig, stop: p.stop, after: p.stopAfter},
+	}
+	var interrupted [2]bool
+	pass := func(i int) func(context.Context) error {
+		return func(context.Context) error {
+			var err error
+			interrupted[i], err = drive(*p, sinks[i])
+			return err
+		}
+	}
+	if err := runner.Run(context.Background(), runner.Config{Workers: p.Workers}, pass(0), pass(1)); err != nil {
+		return nil, err
+	}
+	return &runResult{
+		Normal:      normal.FinalStats(),
+		Mig:         mig.FinalStats(),
+		Events:      max(sinks[0].events, sinks[1].events),
+		Interrupted: interrupted[0] || interrupted[1],
 	}, nil
 }

@@ -228,3 +228,84 @@ func TestSIGINTGracefulStop(t *testing.T) {
 		t.Fatalf("SIGINT resume diverged:\n got %+v\nwant %+v", res2.Mig, ref.Mig)
 	}
 }
+
+// TestParallelMatchesSerialTee: the two-pass concurrent path must
+// produce stats bit-identical to the legacy serial tee pass, for both a
+// workload source and a trace replay, including the event count.
+func TestParallelMatchesSerialTee(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "golden.trace")
+	{
+		f, err := os.Create(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := suite.Registry().New("bh")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, err := trace.NewWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(tw, 100_000)
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		base runParams
+	}{
+		{"workload", runParams{Workload: "181.mcf", Instr: 300_000, Cores: 4}},
+		{"replay", runParams{Replay: tracePath, Cores: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := tc.base
+			sp.Workers = 1
+			serial, err := run(&sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp := tc.base
+			pp.Workers = 2
+			parallel, err := run(&pp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Normal != parallel.Normal || serial.Mig != parallel.Mig {
+				t.Fatalf("stats diverged:\nserial:   %+v %+v\nparallel: %+v %+v",
+					serial.Normal, serial.Mig, parallel.Normal, parallel.Mig)
+			}
+			if serial.Events != parallel.Events {
+				t.Fatalf("events diverged: serial %d, parallel %d", serial.Events, parallel.Events)
+			}
+		})
+	}
+}
+
+// TestParallelStopAfterDeterministic: the per-pass event counter makes
+// the stop-after hook deterministic even on the concurrent path — both
+// machines halt at exactly the same event.
+func TestParallelStopAfterDeterministic(t *testing.T) {
+	sp := runParams{Workload: "em3d", Instr: 200_000, Cores: 4, Workers: 1, stopAfter: 34_567}
+	serial, err := run(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := sp
+	pp.Workers = 2
+	parallel, err := run(&pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Interrupted || !parallel.Interrupted {
+		t.Fatalf("stop-after did not trigger: serial %+v parallel %+v", serial, parallel)
+	}
+	if serial.Normal != parallel.Normal || serial.Mig != parallel.Mig || serial.Events != parallel.Events {
+		t.Fatalf("stop-after runs diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -10,6 +10,7 @@
 //	lruprofile -only 179.art,bh     # subset
 //	lruprofile -instr 50000000      # budget per benchmark (paper: 1e9)
 //	lruprofile -csv                 # machine-readable output
+//	lruprofile -j 8                 # worker pool (0 = all cores, 1 = serial)
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		only     = flag.String("only", "", "comma-separated subset of workloads")
 		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII panels")
 		maxLines = flag.Int64("max-lines", 0, "cap each LRU stack at this many live lines, LRU-evicting past it (0 = unbounded; curves stay exact for thresholds <= the cap)")
+		jobs     = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
 	)
 	flag.Parse()
 
@@ -41,16 +43,21 @@ func main() {
 		}
 	}
 
+	// Workloads fan out across the pool; results come back in input
+	// order, so the printed panels are byte-identical for every -j.
+	results, err := report.LRUProfileBatch(reg, names, *instr, mem.DefaultLineShift, *maxLines, report.RunOptions{
+		Workers:  *jobs,
+		Progress: func(label string) { fmt.Fprintf(os.Stderr, "  profile %s done\n", label) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *csv {
 		fmt.Println("workload,threshold_lines,threshold_bytes,p1,p4,transfreq,dropped")
 	}
-	for _, n := range names {
-		w, err := reg.New(n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		res := report.LRUProfileCapped(w, *instr, mem.DefaultLineShift, *maxLines)
+	for _, res := range results {
 		if *csv {
 			for i, th := range res.Thresholds {
 				fmt.Printf("%s,%d,%d,%.6f,%.6f,%.6f,%d\n",

@@ -1,6 +1,8 @@
 // Command tables regenerates the paper's Table 1 (benchmark inventory:
 // instructions, 16 KB IL1/DL1 misses) and Table 2 (the 4-core execution
-// migration experiment) for all 18 benchmark analogues.
+// migration experiment) for all 18 benchmark analogues. Independent
+// workload runs fan out across a worker pool; the output is
+// byte-identical for every -j value.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	tables -table2                # Table 2 only
 //	tables -instr 50000000        # instruction budget per workload
 //	tables -only 179.art,181.mcf  # restrict to some workloads
+//	tables -j 8                   # worker pool size (0 = all cores, 1 = serial)
 package main
 
 import (
@@ -17,7 +20,6 @@ import (
 	"strings"
 
 	"repro/internal/report"
-	"repro/internal/workloads"
 	"repro/internal/workloads/suite"
 )
 
@@ -30,11 +32,28 @@ func main() {
 		laps  = flag.Uint64("laps", 40, "laps per -sweep point")
 		instr = flag.Uint64("instr", 20_000_000, "instruction budget per workload (paper: 1e9)")
 		only  = flag.String("only", "", "comma-separated subset of workloads")
+		jobs  = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := func(stage string) report.RunOptions {
+		return report.RunOptions{
+			Workers:  *jobs,
+			Progress: func(label string) { fmt.Fprintf(os.Stderr, "  %s %s done\n", stage, label) },
+		}
+	}
+
 	if *sweep {
 		fmt.Printf("circular working-set sweep, %d-core migration machine, %d laps per point\n\n", *cores, *laps)
-		fmt.Println(report.FormatSweep(report.SweepWorkingSet(report.DefaultSweepSizes(), *laps, *cores)))
+		points, err := report.SweepWorkingSetOpt(report.DefaultSweepSizes(), *laps, *cores, opt("sweep"))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatSweep(points))
 		return
 	}
 	if !*t1 && !*t2 {
@@ -50,23 +69,11 @@ func main() {
 		}
 	}
 
-	factory := func(name string) func() workloads.Workload {
-		return func() workloads.Workload {
-			w, err := reg.New(name)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			return w
-		}
-	}
-
 	if *t1 {
 		fmt.Printf("Table 1: benchmarks, %dM instructions each, 16KB fully-assoc LRU L1s, 64B lines\n\n", *instr/1_000_000)
-		var rows []report.Table1Row
-		for _, n := range names {
-			rows = append(rows, report.Table1(factory(n)(), *instr))
-			fmt.Fprintf(os.Stderr, "  table1 %s done\n", n)
+		rows, err := report.Table1Batch(reg, names, *instr, opt("table1"))
+		if err != nil {
+			fail(err)
 		}
 		fmt.Println(report.FormatTable1(rows))
 	}
@@ -75,10 +82,9 @@ func main() {
 		fmt.Printf("25%% sampling, 18-bit filters, L2 filtering. %dM instructions per run.\n", *instr/1_000_000)
 		fmt.Printf("All columns are instructions per event (higher is better); ratio < 1 means\n")
 		fmt.Printf("execution migration removed L2 misses.\n\n")
-		var rows []report.Table2Row
-		for _, n := range names {
-			rows = append(rows, report.Table2(factory(n), *instr))
-			fmt.Fprintf(os.Stderr, "  table2 %s done\n", n)
+		rows, err := report.Table2Batch(reg, names, *instr, opt("table2"))
+		if err != nil {
+			fail(err)
 		}
 		fmt.Println(report.FormatTable2(rows))
 	}

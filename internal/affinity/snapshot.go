@@ -112,15 +112,13 @@ type TableState struct {
 func (u *Unbounded) State() UnboundedState {
 	st := UnboundedState{Dropped: u.Dropped}
 	if u.limit > 0 {
-		st.Entries = make([]TableEntry, 0, len(u.m))
-		for _, line := range u.fifo[u.head:] {
-			st.Entries = append(st.Entries, TableEntry{Line: line, Oe: u.m[line]})
-		}
+		st.Entries = u.entriesInOrder()
 	} else {
-		st.Entries = make([]TableEntry, 0, len(u.m))
-		for line, oe := range u.m {
+		st.Entries = make([]TableEntry, 0, u.Len())
+		u.Range(func(line mem.Line, oe int64) bool {
 			st.Entries = append(st.Entries, TableEntry{Line: line, Oe: oe})
-		}
+			return true
+		})
 		sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].Line < st.Entries[j].Line })
 	}
 	return st
@@ -132,17 +130,15 @@ func (u *Unbounded) SetState(st UnboundedState) error {
 	if u.limit > 0 && len(st.Entries) > u.limit {
 		return fmt.Errorf("affinity: state has %d entries, table limit is %d", len(st.Entries), u.limit)
 	}
-	u.m = make(map[mem.Line]int64, len(st.Entries))
-	u.fifo = u.fifo[:0]
-	u.head = 0
+	u.reset(len(st.Entries))
 	for _, e := range st.Entries {
-		if _, dup := u.m[e.Line]; dup {
+		if _, dup := u.Lookup(e.Line); dup {
 			return fmt.Errorf("affinity: state holds line %d twice", e.Line)
 		}
-		u.m[e.Line] = e.Oe
-		if u.limit > 0 {
-			u.fifo = append(u.fifo, e.Line)
-		}
+		// Store re-establishes both the hash table and (when limited)
+		// the FIFO ring; entries arrive in insertion order, so the
+		// eviction order is reconstructed exactly.
+		u.Store(e.Line, e.Oe)
 	}
 	u.Dropped = st.Dropped
 	return nil

@@ -101,9 +101,81 @@ func TestUnboundedLimitDeterministic(t *testing.T) {
 	if a.Len() != b.Len() {
 		t.Fatalf("len diverged: %d vs %d", a.Len(), b.Len())
 	}
-	for l, oe := range a.m {
-		if boe, ok := b.m[l]; !ok || boe != oe {
+	a.Range(func(l mem.Line, oe int64) bool {
+		if boe, ok := b.Lookup(l); !ok || boe != oe {
 			t.Fatalf("line %d: %d vs (%d, %v)", l, oe, boe, ok)
+		}
+		return true
+	})
+}
+
+// TestUnboundedMatchesMapModel cross-checks the open-addressed table
+// against a plain Go map + FIFO-slice reference model over a randomized
+// workload that exercises growth, in-place update, eviction and the
+// backward-shift deletion path (including key 0, which is a valid line).
+func TestUnboundedMatchesMapModel(t *testing.T) {
+	for _, limit := range []int{0, 1, 7, 64, 300} {
+		u := NewUnboundedLimit(limit)
+		model := make(map[mem.Line]int64)
+		var order []mem.Line
+		rng := trace.NewRNG(uint64(limit) + 3)
+		for i := 0; i < 50_000; i++ {
+			line := mem.Line(rng.Uint64n(500))
+			if rng.Uint64n(4) == 0 {
+				oe, ok := u.Lookup(line)
+				moe, mok := model[line]
+				if ok != mok || oe != moe {
+					t.Fatalf("limit=%d step=%d lookup(%d): (%d,%v) want (%d,%v)", limit, i, line, oe, ok, moe, mok)
+				}
+				continue
+			}
+			oe := int64(i)
+			u.Store(line, oe)
+			if _, exists := model[line]; !exists {
+				if limit > 0 && len(model) >= limit {
+					victim := order[0]
+					order = order[1:]
+					delete(model, victim)
+				}
+				order = append(order, line)
+			}
+			model[line] = oe
+		}
+		if u.Len() != len(model) {
+			t.Fatalf("limit=%d: len %d, model %d", limit, u.Len(), len(model))
+		}
+		for l, moe := range model {
+			if oe, ok := u.Lookup(l); !ok || oe != moe {
+				t.Fatalf("limit=%d: line %d = (%d,%v), model %d", limit, l, oe, ok, moe)
+			}
+		}
+		// The table must hold nothing beyond the model.
+		u.Range(func(l mem.Line, oe int64) bool {
+			if moe, ok := model[l]; !ok || moe != oe {
+				t.Fatalf("limit=%d: stray entry %d=%d (model %d, present=%v)", limit, l, oe, moe, ok)
+			}
+			return true
+		})
+	}
+}
+
+// TestUnboundedStoreSteadyStateAllocs: once the live working set is
+// resident, Store and Lookup never allocate — the property the
+// simulator's hot path depends on.
+func TestUnboundedStoreSteadyStateAllocs(t *testing.T) {
+	for _, limit := range []int{0, 256} {
+		u := NewUnboundedLimit(limit)
+		for i := 0; i < 1024; i++ {
+			u.Store(mem.Line(i%500), int64(i))
+		}
+		line := mem.Line(0)
+		allocs := testing.AllocsPerRun(1000, func() {
+			u.Store(line, 7)
+			u.Lookup(line)
+			line = (line + 1) % 500
+		})
+		if allocs != 0 {
+			t.Fatalf("limit=%d: %v allocs/op in steady-state Store+Lookup", limit, allocs)
 		}
 	}
 }

@@ -15,6 +15,12 @@ type SetAssoc struct {
 	stamp []uint64
 	clock uint64
 	count int
+
+	// setMask and wayStride are derived from geo once at construction:
+	// Lookup runs per simulated reference, and rederiving the mask and
+	// frame stride in the loop costs measurable time there.
+	setMask   uint64
+	wayStride int32
 }
 
 // NewSetAssoc builds a set-associative cache with the given geometry.
@@ -24,11 +30,13 @@ func NewSetAssoc(geo Geometry) *SetAssoc {
 	}
 	n := geo.Frames()
 	return &SetAssoc{
-		geo:   geo,
-		lines: make([]mem.Line, n),
-		valid: make([]bool, n),
-		flags: make([]uint8, n),
-		stamp: make([]uint64, n),
+		geo:       geo,
+		lines:     make([]mem.Line, n),
+		valid:     make([]bool, n),
+		flags:     make([]uint8, n),
+		stamp:     make([]uint64, n),
+		setMask:   uint64(1)<<geo.SetsLog2 - 1,
+		wayStride: int32(1) << geo.SetsLog2,
 	}
 }
 
@@ -38,15 +46,31 @@ func (c *SetAssoc) frameOf(w int, line mem.Line) int32 {
 	if c.geo.Skewed {
 		set = SkewIndex(w, line, c.geo.SetsLog2)
 	} else {
-		set = uint32(uint64(line) & (uint64(1)<<c.geo.SetsLog2 - 1))
+		set = uint32(uint64(line) & c.setMask)
 	}
 	return int32(w)<<c.geo.SetsLog2 + int32(set)
 }
 
 // Lookup implements Cache.
+//
+// The two indexing schemes are split into separate loops: the
+// non-skewed walk strides a precomputed frame index instead of calling
+// frameOf, and the skewed walk keeps the SkewIndex call but avoids the
+// per-way branch. This is the single hottest function of the simulator
+// (every Access probes up to three cache levels through it).
 func (c *SetAssoc) Lookup(line mem.Line) (Handle, bool) {
+	if !c.geo.Skewed {
+		f := int32(uint64(line) & c.setMask)
+		for w := 0; w < c.geo.Ways; w++ {
+			if c.valid[f] && c.lines[f] == line {
+				return Handle(f), true
+			}
+			f += c.wayStride
+		}
+		return -1, false
+	}
 	for w := 0; w < c.geo.Ways; w++ {
-		f := c.frameOf(w, line)
+		f := int32(w)<<c.geo.SetsLog2 + int32(SkewIndex(w, line, c.geo.SetsLog2))
 		if c.valid[f] && c.lines[f] == line {
 			return Handle(f), true
 		}

@@ -82,12 +82,26 @@ func MigrationConfig() Config { return MigrationConfigN(4) }
 // validate user-supplied counts before calling (see cmd/emsim), so a
 // bad argument here is an internal invariant violation.
 func MigrationConfigN(cores int) Config {
-	mc := migration.MustConfigForCores(cores)
+	cfg, err := MigrationConfigFor(cores)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// MigrationConfigFor is MigrationConfigN returning an error instead of
+// panicking, for user-supplied core counts (the experiment drivers
+// validate one configuration up front and thread it through all jobs).
+func MigrationConfigFor(cores int) (Config, error) {
+	mc, err := migration.ConfigForCores(cores)
+	if err != nil {
+		return Config{}, err
+	}
 	return Config{
 		Cores: cores, LineShift: 6,
 		IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(),
 		Migration: &mc,
-	}
+	}, nil
 }
 
 // Stats are the event counts the machine accumulates. All counts are
@@ -188,26 +202,37 @@ type Machine struct {
 	Stats  Stats
 }
 
-// New builds a machine. Malformed configurations — a bad core count,
-// geometry, or migration setup — come back as errors; MustNew wraps
-// them in a panic for call sites with compile-time-constant
-// configurations.
-func New(cfg Config) (*Machine, error) {
+// Validate rejects malformed configurations: a bad core count or cache
+// geometry. (Migration-controller problems surface in New, which
+// actually constructs the controller.) Experiment drivers validate one
+// configuration up front and thread it through all their jobs.
+func (cfg Config) Validate() error {
 	if cfg.Cores < 1 {
-		return nil, fmt.Errorf("machine: need at least one core, got %d", cfg.Cores)
+		return fmt.Errorf("machine: need at least one core, got %d", cfg.Cores)
 	}
 	for _, g := range []struct {
 		name string
 		geo  cache.Geometry
 	}{{"IL1", cfg.IL1}, {"DL1", cfg.DL1}, {"L2", cfg.L2}} {
 		if err := g.geo.Validate(); err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", g.name, err)
+			return fmt.Errorf("machine: %s: %w", g.name, err)
 		}
 	}
 	if cfg.L3 != nil {
 		if err := cfg.L3.Validate(); err != nil {
-			return nil, fmt.Errorf("machine: L3: %w", err)
+			return fmt.Errorf("machine: L3: %w", err)
 		}
+	}
+	return nil
+}
+
+// New builds a machine. Malformed configurations — a bad core count,
+// geometry, or migration setup — come back as errors; MustNew wraps
+// them in a panic for call sites with compile-time-constant
+// configurations.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Machine{
 		cfg: cfg,
@@ -326,11 +351,12 @@ func (m *Machine) spillRegisters() {
 
 // fillL1 inserts a line into an L1 after an L2/L3 fetch; the line is
 // broadcast to the inactive L1 copies (§2.3), which we account but do
-// not duplicate (contents are mirrored).
+// not duplicate (contents are mirrored). The caller has just missed
+// this L1 on the same line and nothing on the request path touches the
+// L1s, so the line is guaranteed absent — Insert (which re-probes the
+// candidate frames and panics on a resident line) needs no preceding
+// Lookup.
 func (m *Machine) fillL1(l1 *cache.SetAssoc, line mem.Line) {
-	if _, ok := l1.Lookup(line); ok {
-		return
-	}
 	l1.Insert(line, 0)
 	if m.cfg.Migration != nil {
 		m.Stats.L1BroadcastBytes += uint64(m.cfg.Cores-1) << m.cfg.LineShift

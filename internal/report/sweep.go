@@ -1,10 +1,12 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -28,31 +30,68 @@ type SweepPoint struct {
 // lines) through the 1-core and migration machines and reports the
 // trade at each point — the crossover structure behind Table 2: no
 // effect while the set fits one L2, a win while it fits the aggregate,
-// suppression beyond.
+// suppression beyond. Points fan out across the worker pool; use
+// SweepWorkingSetOpt to control scheduling and surface errors.
 func SweepWorkingSet(sizes []uint64, laps uint64, cores int) []SweepPoint {
-	var out []SweepPoint
-	for _, ws := range sizes {
-		refs := laps * ws
-		normal := machine.MustNew(machine.NormalConfig())
-		trace.Drive(trace.NewCircular(ws), normal, refs, 6, 3)
-		mig := machine.MustNew(machine.MigrationConfigN(cores))
-		trace.Drive(trace.NewCircular(ws), mig, refs, 6, 3)
-
-		p := SweepPoint{Lines: ws, Bytes: ws << 6}
-		nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)
-		mRate := float64(mig.Stats.L2Misses) / float64(mig.Stats.Instructions)
-		if nRate > 0 {
-			p.Ratio = mRate / nRate
-		}
-		if mig.Stats.Migrations > 0 {
-			p.InstrPerMigration = float64(mig.Stats.Instructions) / float64(mig.Stats.Migrations)
-			removed := nRate - mRate
-			migRate := float64(mig.Stats.Migrations) / float64(mig.Stats.Instructions)
-			p.BreakEvenPmig = removed / migRate
-		}
-		out = append(out, p)
+	out, err := SweepWorkingSetOpt(sizes, laps, cores, RunOptions{})
+	if err != nil {
+		// Reachable only through a bad core count or an internal
+		// configuration bug; callers of this legacy signature pass
+		// compile-time-constant cores.
+		panic(err)
 	}
 	return out
+}
+
+// SweepWorkingSetOpt is SweepWorkingSet with scheduling options. Both
+// machine configurations are built and validated exactly once and
+// threaded through every point's job (each job constructs its own
+// Machines from the shared configs — machines are mutable, configs are
+// not); results are in sizes order and byte-identical for any worker
+// count.
+func SweepWorkingSetOpt(sizes []uint64, laps uint64, cores int, opt RunOptions) ([]SweepPoint, error) {
+	normalCfg := machine.NormalConfig()
+	migCfg, err := machine.MigrationConfigFor(cores)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateConfigs(normalCfg, migCfg); err != nil {
+		return nil, err
+	}
+	label := func(i int) string { return fmt.Sprintf("%dK", sizes[i]<<6>>10) }
+	return runner.Map(opt.ctx(), len(sizes), opt.config(label),
+		func(_ context.Context, i int) (SweepPoint, error) {
+			return sweepPoint(sizes[i], laps, normalCfg, migCfg)
+		})
+}
+
+// sweepPoint measures one working-set size on freshly built machines.
+func sweepPoint(ws, laps uint64, normalCfg, migCfg machine.Config) (SweepPoint, error) {
+	refs := laps * ws
+	normal, err := machine.New(normalCfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	trace.Drive(trace.NewCircular(ws), normal, refs, 6, 3)
+	mig, err := machine.New(migCfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	trace.Drive(trace.NewCircular(ws), mig, refs, 6, 3)
+
+	p := SweepPoint{Lines: ws, Bytes: ws << 6}
+	nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)
+	mRate := float64(mig.Stats.L2Misses) / float64(mig.Stats.Instructions)
+	if nRate > 0 {
+		p.Ratio = mRate / nRate
+	}
+	if mig.Stats.Migrations > 0 {
+		p.InstrPerMigration = float64(mig.Stats.Instructions) / float64(mig.Stats.Migrations)
+		removed := nRate - mRate
+		migRate := float64(mig.Stats.Migrations) / float64(mig.Stats.Instructions)
+		p.BreakEvenPmig = removed / migRate
+	}
+	return p, nil
 }
 
 // DefaultSweepSizes returns working-set sizes from 256 KB to 8 MB

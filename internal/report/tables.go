@@ -94,32 +94,40 @@ func Table2(w func() workloads.Workload, budget uint64) Table2Row {
 	mig := machine.MustNew(machine.MigrationConfig())
 	wl2.Run(mig, budget)
 
+	return table2Row(wl.Name(), wl.Suite(), normal.Stats, mig.Stats)
+}
+
+// table2Row derives one Table 2 line from the two machines' raw stats.
+// Both the serial Table2 and the parallel Table2Batch assemble rows
+// through this single function, so the derived metrics cannot drift
+// between the two paths.
+func table2Row(name, suite string, normal, mig machine.Stats) Table2Row {
 	row := Table2Row{
-		Name:     wl.Name(),
-		Suite:    wl.Suite(),
-		Normal:   normal.Stats,
-		Migrated: mig.Stats,
+		Name:     name,
+		Suite:    suite,
+		Normal:   normal,
+		Migrated: mig,
 	}
-	if v, ok := mig.Stats.PerInstr(mig.Stats.L1Misses()); ok {
+	if v, ok := mig.PerInstr(mig.L1Misses()); ok {
 		row.InstrPerL1Miss = v
 	}
-	if v, ok := normal.Stats.PerInstr(normal.Stats.L2Misses); ok {
+	if v, ok := normal.PerInstr(normal.L2Misses); ok {
 		row.InstrPerL2Miss = v
 	}
-	if v, ok := mig.Stats.PerInstr(mig.Stats.L2Misses); ok {
+	if v, ok := mig.PerInstr(mig.L2Misses); ok {
 		row.InstrPer4xL2Miss = v
 	}
-	if v, ok := mig.Stats.PerInstr(mig.Stats.Migrations); ok {
+	if v, ok := mig.PerInstr(mig.Migrations); ok {
 		row.InstrPerMig = v
 		row.HasMigrations = true
 	}
 	// ratio of miss rates = (4xL2 misses/instr) / (L2 misses/instr)
-	nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)
-	mRate := float64(mig.Stats.L2Misses) / float64(mig.Stats.Instructions)
+	nRate := float64(normal.L2Misses) / float64(normal.Instructions)
+	mRate := float64(mig.L2Misses) / float64(mig.Instructions)
 	if nRate > 0 {
 		row.Ratio = mRate / nRate
 	}
-	if be, ok := migration.MissesRemovedPerMigration(normal.Stats.Outcome(), mig.Stats.Outcome()); ok {
+	if be, ok := migration.MissesRemovedPerMigration(normal.Outcome(), mig.Outcome()); ok {
 		row.BreakEvenPmig = be
 	}
 	return row

@@ -97,4 +97,3 @@ func TestFuzzCorpusSmoke(t *testing.T) {
 		}
 	}
 }
-
