@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench gobench short check fuzz results clean
+.PHONY: all build test vet lint bench gobench short check fuzz results clean
 
 all: build vet test
 
-# The full pre-merge gate: static checks, the whole test suite under the
-# race detector, and a short fuzz smoke over the trace reader.
-check: build vet
+# The full pre-merge gate: static checks (go vet + the project's own
+# emlint analyzers), the whole test suite under the race detector, and a
+# short fuzz smoke over the trace reader.
+check: build vet lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz
 
@@ -25,6 +26,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: build the emlint vettool (the
+# determinism / snapshot-completeness / hot-path / no-panic analyzers of
+# internal/analysis, see DESIGN.md par.8) and run it over the module via
+# the standard `go vet -vettool` protocol. staticcheck and govulncheck
+# run too when installed; the container image for CI does not ship them,
+# so they are gated rather than required.
+lint:
+	$(GO) build -o bin/emlint ./cmd/emlint
+	$(GO) vet -vettool=$(abspath bin/emlint) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed; skipping"; fi
 
 test:
 	$(GO) test ./...

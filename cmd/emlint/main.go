@@ -1,0 +1,252 @@
+// Command emlint is the repository's static-analysis driver: four
+// analyzers (nondeterminism, snapshotcomplete, hotpath, nopanic) that
+// enforce the simulator's determinism, checkpoint and allocation
+// invariants at build time. It speaks go vet's vettool protocol, so the
+// usual invocation is
+//
+//	go vet -vettool=$(which emlint) ./...
+//
+// (wired up as `make lint`), and it also runs standalone on package
+// patterns:
+//
+//	emlint ./internal/...
+//
+// The vettool protocol, replicated from x/tools' unitchecker (which is
+// not importable in this offline module):
+//
+//	-V=full    print a version fingerprint for the build cache; exit 0
+//	-flags     print the tool's flags as JSON; exit 0
+//	foo.cfg    analyze one compilation unit described by the JSON file
+//
+// In .cfg mode diagnostics go to stderr as "file:line:col: message" and
+// the exit status is 1 if any were reported; go vet relays both.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emlint: ")
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		unitcheck(args[0])
+	default:
+		standalone(args)
+	}
+}
+
+// printVersion implements -V=full: a stable fingerprint of the
+// executable so the go command can cache vet results against the tool's
+// identity. The format imitates cmd/go's own tools ("<name> version
+// devel ... buildID=<hex>").
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// vetConfig mirrors the JSON compilation-unit description the go
+// command hands a vettool (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by cfgFile.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// The go command caches per-package facts through the vetx file and
+	// requires it to exist after every run. emlint's analyzers exchange
+	// no facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// ImportPath carries a " [pkg.test]" suffix for test-augmented
+	// variants; policy is keyed on the base path.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	analyzers := suite.ForPackage(importPath)
+	if cfg.VetxOnly || len(analyzers) == 0 {
+		return // dependency pass, or a package outside emlint's policy
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return // the compiler will report it better
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer:  unitImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("typechecking %s: %v", importPath, err)
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	report(fset, diags)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// unitImporter resolves imports exactly as go vet instructs: the import
+// path as written is mapped through ImportMap to a package path, whose
+// compiler export data is listed in PackageFile.
+func unitImporter(cfg *vetConfig, fset *token.FileSet) types.Importer {
+	imp := load.NewImporter(fset, cfg.Dir)
+	for path, file := range cfg.PackageFile {
+		imp.Add(path, file)
+	}
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return imp.Import(path)
+	})
+}
+
+// standalone lints package patterns without go vet: emlint ./...
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load("", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var all []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset // one shared FileSet across load.Load
+		analyzers := suite.ForPackage(pkg.Path)
+		all = append(all, runAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)...)
+	}
+	report(fset, all)
+}
+
+// runAnalyzers applies analyzers to one typechecked package.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+
+	dirs := analysis.ParseDirectives(fset, files)
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Directives: dirs,
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	return diags
+}
+
+// report prints diagnostics in file/line order to stderr and exits 1 if
+// there were any. Analyzers walk maps internally, so the sort also makes
+// runs reproducible — the tool holds itself to its own invariant.
+func report(fset *token.FileSet, diags []analysis.Diagnostic) {
+	if len(diags) == 0 {
+		return
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@ type Cache struct {
 // (must be ways * power-of-two) and associativity.
 func NewCache(entries, ways int) *Cache {
 	if ways < 1 || entries < ways || entries%ways != 0 {
+		//emlint:allowpanic shape is validated by migration.NewController before construction
 		panic("affinity: bad cache shape")
 	}
 	sets := entries / ways
@@ -40,6 +41,7 @@ func NewCache(entries, ways int) *Cache {
 		log2++
 	}
 	if 1<<log2 != sets {
+		//emlint:allowpanic shape is validated by migration.NewController before construction
 		panic("affinity: sets per way must be a power of two")
 	}
 	return &Cache{
@@ -73,7 +75,9 @@ func (c *Cache) touch(line mem.Line, hit int) {
 	}
 }
 
-// Lookup implements Table.
+// Lookup implements Table. It runs once per L1-filtered reference.
+//
+//emlint:hotpath
 func (c *Cache) Lookup(line mem.Line) (int64, bool) {
 	for w := 0; w < c.ways; w++ {
 		f := c.frameOf(w, line)
@@ -87,7 +91,9 @@ func (c *Cache) Lookup(line mem.Line) (int64, bool) {
 	return 0, false
 }
 
-// Store implements Table.
+// Store implements Table. It runs once per R-window pop.
+//
+//emlint:hotpath
 func (c *Cache) Store(line mem.Line, oe int64) {
 	// Update in place on hit.
 	for w := 0; w < c.ways; w++ {

@@ -27,6 +27,7 @@ type Ideal struct {
 // bits = 0 disables saturation (pure Definition 1).
 func NewIdeal(windowSize int, bits uint) *Ideal {
 	if windowSize < 1 {
+		//emlint:allowpanic test-only reference model constructed with compile-time-constant sizes
 		panic("affinity: ideal window size < 1")
 	}
 	s := Sat{Min: -1 << 62, Max: 1 << 62}
@@ -63,6 +64,7 @@ func (d *Ideal) Ref(e mem.Line) int64 {
 	for _, w := range d.win {
 		inWin[w] = true
 	}
+	//emlint:ordered each key is updated from its own value only; no cross-iteration state
 	for line, a := range d.aff {
 		if inWin[line] {
 			d.aff[line] = d.sat.Add(a, s)

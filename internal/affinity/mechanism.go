@@ -82,8 +82,8 @@ type winEntry struct {
 // Definition 1, and document the Figure-2 discrepancy here and in
 // DESIGN.md.
 type Mechanism struct {
-	cfg   MechConfig
-	table Table
+	cfg   MechConfig //emlint:nosnapshot configuration; states restore into identically configured mechanisms
+	table Table      //emlint:nosnapshot shared table, checkpointed separately via CaptureTableState
 
 	win  []winEntry
 	head int  // next slot to overwrite (oldest entry)
@@ -91,7 +91,7 @@ type Mechanism struct {
 
 	ar, delta, filter int64
 
-	satVal, satAR, satDelta, satFilter Sat
+	satVal, satAR, satDelta, satFilter Sat //emlint:nosnapshot derived from cfg at construction
 
 	// Refs counts references processed by this mechanism.
 	Refs uint64
@@ -100,9 +100,11 @@ type Mechanism struct {
 // NewMechanism builds a mechanism over the given shared table.
 func NewMechanism(cfg MechConfig, table Table) *Mechanism {
 	if err := cfg.Validate(); err != nil {
+		//emlint:allowpanic configurations are Validated by migration.NewController and the front ends first
 		panic(err)
 	}
 	if table == nil {
+		//emlint:allowpanic a nil table is a wiring bug, not user input
 		panic("affinity: nil table")
 	}
 	logR := uint(bits.Len(uint(cfg.WindowSize - 1))) // ceil(log2 |R|)

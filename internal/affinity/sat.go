@@ -33,6 +33,7 @@ type Sat struct {
 // integer: [−2^(b−1), 2^(b−1)−1]. b must be in [2, 62].
 func SatBits(b uint) Sat {
 	if b < 2 || b > 62 {
+		//emlint:allowpanic widths come from Validated configs (AffinityBits/FilterBits bounds are tighter than [2,62])
 		panic("affinity: SatBits width out of range")
 	}
 	half := int64(1) << (b - 1)

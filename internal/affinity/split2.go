@@ -1,6 +1,10 @@
 package affinity
 
-import "repro/internal/mem"
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
 
 // Splitter is the interface shared by the 2-, 4- and 8-way splitters:
 // feed it the L1-filtered reference stream, read back the designated
@@ -43,9 +47,9 @@ type Splitter interface {
 // (sign −1).
 type Splitter2 struct {
 	M     *Mechanism
-	table Table
+	table Table //emlint:nosnapshot shared table, checkpointed separately via CaptureTableState
 
-	sampleLimit uint32
+	sampleLimit uint32 //emlint:nosnapshot configuration, reapplied from the run's Config on rebuild
 	sampledOut  uint64
 
 	refs        uint64
@@ -65,11 +69,13 @@ func NewSplitter2(cfg MechConfig, table Table) *Splitter2 {
 // SetSampleLimit applies §3.5 working-set sampling: only lines with
 // Hash31 below limit update the affinity machinery (8 ≈ 25%); the rest
 // are classified by the current filter sign alone. 31 disables sampling.
-func (s *Splitter2) SetSampleLimit(limit uint32) {
+// A limit outside [1,31] is rejected as an error.
+func (s *Splitter2) SetSampleLimit(limit uint32) error {
 	if limit == 0 || limit > 31 {
-		panic("affinity: SampleLimit must be in [1,31]")
+		return fmt.Errorf("affinity: SampleLimit %d out of [1,31]", limit)
 	}
 	s.sampleLimit = limit
+	return nil
 }
 
 // SampledOut returns how many references bypassed the affinity machinery.

@@ -46,8 +46,8 @@ func Table2Config() Split4Config {
 // sign pair (sign FX, sign F of the selected Y).
 type Splitter4 struct {
 	X, YPos, YNeg *Mechanism
-	table         Table
-	sampleLimit   uint32
+	table         Table  //emlint:nosnapshot shared table, checkpointed separately via CaptureTableState
+	sampleLimit   uint32 //emlint:nosnapshot configuration, rebuilt from the run's Config
 
 	refs        uint64
 	sampledOut  uint64
@@ -63,6 +63,7 @@ type Splitter4 struct {
 // NewSplitter4 builds a 4-way splitter over the shared table.
 func NewSplitter4(cfg Split4Config, table Table) *Splitter4 {
 	if cfg.SampleLimit == 0 || cfg.SampleLimit > 31 {
+		//emlint:allowpanic limits are checked by migration.NewController before construction
 		panic("affinity: SampleLimit must be in [1,31]")
 	}
 	return &Splitter4{

@@ -40,8 +40,8 @@ type Splitter8 struct {
 	X           *Mechanism
 	Y           [2]*Mechanism // indexed by bit(FX)
 	Z           [4]*Mechanism // indexed by 2*bit(FX)+bit(FY)
-	table       Table
-	sampleLimit uint32
+	table       Table         //emlint:nosnapshot shared table, checkpointed separately via CaptureTableState
+	sampleLimit uint32        //emlint:nosnapshot configuration, rebuilt from the run's Config
 
 	refs        uint64
 	sampledOut  uint64
@@ -56,6 +56,7 @@ type Splitter8 struct {
 // NewSplitter8 builds an 8-way splitter over the shared table.
 func NewSplitter8(cfg Split8Config, table Table) *Splitter8 {
 	if cfg.SampleLimit == 0 || cfg.SampleLimit > 31 {
+		//emlint:allowpanic limits are checked by migration.NewController before construction
 		panic("affinity: SampleLimit must be in [1,31]")
 	}
 	s := &Splitter8{table: table, sampleLimit: cfg.SampleLimit}

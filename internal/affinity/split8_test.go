@@ -78,7 +78,9 @@ func TestSplitter8Sampling(t *testing.T) {
 // without touching the mechanism.
 func TestSplitter2Sampling(t *testing.T) {
 	s := NewSplitter2(MechConfig{WindowSize: 64, AffinityBits: 16, FilterBits: 18}, NewUnbounded())
-	s.SetSampleLimit(8)
+	if err := s.SetSampleLimit(8); err != nil {
+		t.Fatal(err)
+	}
 	g := trace.NewCircular(4000)
 	const total = 400_000
 	for i := 0; i < total; i++ {

@@ -76,7 +76,10 @@ func (u *Unbounded) homeSlot(line mem.Line) uint64 {
 	return (uint64(line) * fibMul) & uint64(len(u.keys)-1)
 }
 
-// Lookup implements Table.
+// Lookup implements Table. It is the innermost read of the affinity
+// mechanism, once per L1-filtered reference.
+//
+//emlint:hotpath
 func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
 	if u.n == 0 {
 		return 0, false
@@ -90,7 +93,10 @@ func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
 	return 0, false
 }
 
-// Store implements Table.
+// Store implements Table. Steady state updates in place or swaps inside
+// preallocated arrays; growth is confined to the coldpath helpers.
+//
+//emlint:hotpath
 func (u *Unbounded) Store(line mem.Line, oe int64) {
 	if len(u.keys) != 0 {
 		mask := uint64(len(u.keys) - 1)
@@ -126,7 +132,10 @@ func (u *Unbounded) Store(line mem.Line, oe int64) {
 	}
 }
 
-// grow rehashes every live entry into arrays of newCap slots.
+// grow rehashes every live entry into arrays of newCap slots. Growth
+// doubles, so its allocations amortise to O(1) per insertion.
+//
+//emlint:coldpath
 func (u *Unbounded) grow(newCap int) {
 	oldKeys, oldVals, oldUsed := u.keys, u.vals, u.used
 	u.keys = make([]mem.Line, newCap)
@@ -200,7 +209,10 @@ func (u *Unbounded) delete(line mem.Line) {
 }
 
 // fifoPush appends line to the insertion-order ring, doubling the ring
-// (up to limit slots) while the table is still filling.
+// (up to limit slots) while the table is still filling; at the cap it
+// runs allocation-free.
+//
+//emlint:coldpath
 func (u *Unbounded) fifoPush(line mem.Line) {
 	if u.fcount == len(u.fifo) {
 		newCap := 16

@@ -1,0 +1,130 @@
+// Package analysistest runs emlint analyzers over golden fixture
+// packages, in the style of golang.org/x/tools' package of the same
+// name (reimplemented offline on the stdlib): fixture sources carry
+// `// want "regexp"` comments on the lines where diagnostics are
+// expected, and a test fails on any unmatched expectation or
+// unexpected diagnostic. Fixtures live under testdata/src/<pkg> next
+// to the analyzer's own test file.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRE matches one `// want "..."` or `// want ` + "`...`" + “ comment tail.
+var wantRE = regexp.MustCompile("//\\s*want\\s+(\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one want comment: a regexp the diagnostic on that
+// line must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package at dir (e.g. "testdata/src/nondet"),
+// applies the analyzer, and checks its diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunAll(t, []*analysis.Analyzer{a}, dir)
+}
+
+// RunAll applies several analyzers to one fixture package, pooling
+// their diagnostics against the fixture's want comments. Use with an
+// annotation-free fixture to assert a package is clean under the whole
+// suite.
+func RunAll(t *testing.T, as []*analysis.Analyzer, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, "")
+	pkg, err := load.TypeCheck(fset, imp, filepath.Base(dir), files)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, fset, pkg)
+	dirs := analysis.ParseDirectives(fset, pkg.Files)
+
+	var diags []analysis.Diagnostic
+	for _, a := range as {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			Directives: dirs,
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts every want comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want") {
+					continue
+				}
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[3]
+					if pat == "" {
+						pat = strings.ReplaceAll(m[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unhit expectation matching the diagnostic.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The emlint annotation vocabulary. Annotations are ordinary line
+// comments of the form `//emlint:<name> [reason...]` (no space after
+// //, like //go: directives). They either opt a declaration into a
+// check (hotpath) or record a reviewed exemption with its reason
+// (ordered, allowpanic, nosnapshot, coldpath).
+const (
+	// DirHotpath marks a function as steady-state allocation-free: the
+	// hotpath analyzer forbids closures, interface conversions,
+	// escaping appends, and calls into allocating non-annotated code.
+	DirHotpath = "hotpath"
+	// DirColdpath marks a function as a known amortised/cold path
+	// (table growth, eviction ring doubling): hotpath functions may
+	// call it even though it allocates.
+	DirColdpath = "coldpath"
+	// DirOrdered marks a map-range loop whose escaping result has been
+	// reviewed as iteration-order-independent.
+	DirOrdered = "ordered"
+	// DirAllowPanic marks a reviewed panic in library code: a
+	// documented internal-invariant trap rather than input validation.
+	DirAllowPanic = "allowpanic"
+	// DirNoSnapshot marks a struct field that Snapshot/Restore may
+	// legitimately skip: configuration, derived values rebuilt on
+	// restore, or scratch space with no cross-call state.
+	DirNoSnapshot = "nosnapshot"
+)
+
+const dirPrefix = "//emlint:"
+
+// Directives indexes a package's //emlint: annotations by file and
+// line so analyzers can answer "is this node annotated?" without
+// re-walking comment lists.
+type Directives struct {
+	// byLine maps filename → line → directive names present on that line.
+	byLine map[string]map[int][]string
+}
+
+// ParseDirectives collects every emlint annotation in files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective extracts the directive name from a comment's text, if
+// it is an emlint annotation.
+func parseDirective(text string) (string, bool) {
+	if !strings.HasPrefix(text, dirPrefix) {
+		return "", false
+	}
+	rest := text[len(dirPrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// at reports whether directive name sits on the given file line.
+func (d *Directives) at(filename string, line int, name string) bool {
+	for _, n := range d.byLine[filename][line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// OnLineOrAbove reports whether the annotation appears on the node's
+// own line (a trailing comment) or on the line directly above it — the
+// two idiomatic placements for statement- and field-level annotations.
+func (d *Directives) OnLineOrAbove(fset *token.FileSet, node ast.Node, name string) bool {
+	pos := fset.Position(node.Pos())
+	return d.at(pos.Filename, pos.Line, name) || d.at(pos.Filename, pos.Line-1, name)
+}
+
+// CommentedFunc reports whether a function declaration carries the
+// annotation anywhere in its doc comment (the conventional placement:
+// the last doc line before func).
+func CommentedFunc(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if n, ok := parseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CommentedField reports whether a struct field carries the annotation
+// in its doc comment or trailing line comment.
+func CommentedField(field *ast.Field, name string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if n, ok := parseDirective(c.Text); ok && n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

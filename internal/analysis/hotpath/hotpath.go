@@ -1,0 +1,298 @@
+// Package hotpath implements the emlint analyzer guarding the
+// zero-allocation steady state of the simulator's per-reference path
+// (DESIGN.md par.7, TestAccessSteadyStateZeroAllocs): functions
+// annotated //emlint:hotpath — Machine.Access, Machine.Instr, the
+// affinity-table lookup/insert, the set-associative probe — must stay
+// free of constructs that allocate per call. Amortised growth helpers
+// a hot function may legitimately reach (hash-table doubling, ring
+// growth) are annotated //emlint:coldpath and exempted at the call
+// site while still being barred from the hot function's own body.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces allocation-freedom of //emlint:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: `forbid allocation in //emlint:hotpath functions
+
+Inside an annotated function: no closures (captures allocate), no
+go/defer statements, no interface conversions (boxing allocates), no
+append, no make/new/&composite allocations, no string concatenation,
+and no calls to same-package functions that contain any of those unless
+the callee is itself annotated //emlint:hotpath or //emlint:coldpath
+(a reviewed amortised path).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index declarations and find annotated functions.
+	type funcInfo struct {
+		decl    *ast.FuncDecl
+		hot     bool
+		cold    bool
+		allocAt token.Pos // first allocation site, NoPos if none
+	}
+	byObj := make(map[*types.Func]*funcInfo)
+	var hot []*funcInfo
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{
+				decl:    fd,
+				hot:     analysis.CommentedFunc(fd, analysis.DirHotpath),
+				cold:    analysis.CommentedFunc(fd, analysis.DirColdpath),
+				allocAt: firstAllocSite(pass, fd),
+			}
+			byObj[fn] = fi
+			if fi.hot {
+				hot = append(hot, fi)
+			}
+		}
+	}
+
+	// mayAlloc reports (with memoisation) whether fn or any
+	// non-annotated same-package function it reaches allocates.
+	memo := make(map[*types.Func]bool)
+	var mayAlloc func(fn *types.Func, stack map[*types.Func]bool) bool
+	mayAlloc = func(fn *types.Func, stack map[*types.Func]bool) bool {
+		if v, ok := memo[fn]; ok {
+			return v
+		}
+		if stack[fn] {
+			return false // break recursion cycles optimistically
+		}
+		fi, ok := byObj[fn]
+		if !ok {
+			return false // other package or no body: not judged here
+		}
+		if fi.hot || fi.cold {
+			return false // annotated: reviewed separately
+		}
+		if fi.allocAt != token.NoPos {
+			memo[fn] = true
+			return true
+		}
+		stack[fn] = true
+		defer delete(stack, fn)
+		result := false
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			if result {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := analysis.FuncOf(pass.TypesInfo, call); callee != nil {
+					if mayAlloc(callee, stack) {
+						result = true
+					}
+				}
+			}
+			return true
+		})
+		memo[fn] = result
+		return result
+	}
+
+	for _, fi := range hot {
+		checkHot(pass, fi.decl, func(fn *types.Func) (verdict string) {
+			callee, ok := byObj[fn]
+			switch {
+			case !ok:
+				return "" // cross-package: outside this pass's view
+			case callee.hot || callee.cold:
+				return ""
+			case callee.allocAt != token.NoPos:
+				return "allocates"
+			case mayAlloc(fn, map[*types.Func]bool{}):
+				return "reaches an allocating function"
+			}
+			return ""
+		})
+	}
+	return nil
+}
+
+// firstAllocSite returns the position of the first direct allocation
+// construct in the function body, or NoPos.
+func firstAllocSite(pass *analysis.Pass, fd *ast.FuncDecl) token.Pos {
+	at := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if at != token.NoPos {
+			return false
+		}
+		if pos, _ := allocConstruct(pass, n); pos != token.NoPos {
+			at = pos
+			return false
+		}
+		return true
+	})
+	return at
+}
+
+// allocConstruct classifies n as a direct allocation construct,
+// returning its position and a human-readable description.
+func allocConstruct(pass *analysis.Pass, n ast.Node) (token.Pos, string) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make", "new", "append":
+					return n.Pos(), b.Name()
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				return n.Pos(), "&composite literal"
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					if !isConstant(pass, n) {
+						return n.Pos(), "string concatenation"
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos, ""
+}
+
+// isConstant reports whether the expression folds to a constant.
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkHot walks one annotated function and reports every violation.
+// judgeCall classifies a resolved same-package callee ("" = allowed).
+func checkHot(pass *analysis.Pass, fd *ast.FuncDecl, judgeCall func(*types.Func) string) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //emlint:hotpath function %s: captures allocate", name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //emlint:hotpath function %s", name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //emlint:hotpath function %s: deferred calls allocate", name)
+		case *ast.CallExpr:
+			if pos, what := allocConstruct(pass, n); pos != token.NoPos {
+				pass.Reportf(pos, "%s in //emlint:hotpath function %s", what, name)
+				return true
+			}
+			checkCallArgs(pass, n, name)
+			if callee := analysis.FuncOf(pass.TypesInfo, n); callee != nil {
+				if verdict := judgeCall(callee); verdict != "" {
+					pass.Reportf(n.Pos(),
+						"//emlint:hotpath function %s calls %s, which %s; annotate the callee //emlint:coldpath if the allocation is a reviewed amortised path",
+						name, callee.Name(), verdict)
+				}
+			}
+		case *ast.UnaryExpr, *ast.BinaryExpr:
+			if pos, what := allocConstruct(pass, n); pos != token.NoPos {
+				pass.Reportf(pos, "%s in //emlint:hotpath function %s", what, name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkInterfaceConversion(pass, n.Lhs[i], rhs, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallArgs flags concrete-to-interface argument conversions, the
+// boxing allocation hidden in calls like fmt.Println(x).
+func checkCallArgs(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	sigT := pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		// Conversion expression I(x): flag concrete→interface.
+		if len(call.Args) == 1 {
+			if _, ok := sigT.Underlying().(*types.Interface); ok {
+				if isConcrete(pass.TypesInfo.TypeOf(call.Args[0])) {
+					pass.Reportf(call.Pos(), "interface conversion in //emlint:hotpath function %s: boxing allocates", name)
+				}
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < sig.Params().Len():
+			paramT = sig.Params().At(i).Type()
+		}
+		if paramT == nil {
+			continue
+		}
+		if _, ok := paramT.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		if isConcrete(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"interface conversion in //emlint:hotpath function %s: passing concrete value to interface parameter allocates",
+				name)
+		}
+	}
+}
+
+// checkInterfaceConversion flags concrete-to-interface assignments.
+func checkInterfaceConversion(pass *analysis.Pass, lhs, rhs ast.Expr, name string) {
+	lt := pass.TypesInfo.TypeOf(lhs)
+	if lt == nil {
+		return
+	}
+	if _, ok := lt.Underlying().(*types.Interface); !ok {
+		return
+	}
+	if isConcrete(pass.TypesInfo.TypeOf(rhs)) {
+		pass.Reportf(rhs.Pos(),
+			"interface conversion in //emlint:hotpath function %s: assigning concrete value to interface allocates", name)
+	}
+}
+
+// isConcrete reports whether t is a non-interface, non-nil type whose
+// conversion to an interface would box a value.
+func isConcrete(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Kind() == types.Invalid) {
+		return false
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return !isIface
+}

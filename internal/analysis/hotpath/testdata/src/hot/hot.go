@@ -1,0 +1,154 @@
+// Package hot is the golden fixture for the emlint hotpath analyzer:
+// annotated functions exhibiting each forbidden construct, annotated
+// functions that must stay clean, and the coldpath escape hatch.
+package hot
+
+// Cache is the receiver for the fixture's hot methods.
+type Cache struct {
+	lines []int
+	log   []string
+}
+
+// Lookup is the clean steady-state probe: index math and loads only.
+//
+//emlint:hotpath
+func (c *Cache) Lookup(addr int) int {
+	i := addr & (len(c.lines) - 1)
+	return c.lines[i]
+}
+
+// allocate is an unannotated same-package allocator.
+func allocate(n int) []int {
+	return make([]int, n)
+}
+
+// viaAlloc reaches allocate one hop down.
+func viaAlloc(n int) []int {
+	return allocate(n)
+}
+
+// grow is a reviewed amortised path hot code may call.
+//
+//emlint:coldpath
+func grow(s []int) []int {
+	return append(s, 0)
+}
+
+// flush is allocation-free and callable from hot code unannotated.
+func flush(s []int) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// BadMake allocates directly.
+//
+//emlint:hotpath
+func BadMake(n int) []int {
+	return make([]int, n) // want `make in //emlint:hotpath function BadMake`
+}
+
+// BadAppend grows an escaping slice per call.
+//
+//emlint:hotpath
+func (c *Cache) BadAppend(v string) {
+	c.log = append(c.log, v) // want `append in //emlint:hotpath function BadAppend`
+}
+
+// BadClosure captures, which allocates.
+//
+//emlint:hotpath
+func BadClosure(x int) int {
+	f := func() int { return x } // want `closure in //emlint:hotpath function BadClosure`
+	return f()
+}
+
+// BadDefer defers, which allocates a deferred frame.
+//
+//emlint:hotpath
+func BadDefer(s []int) {
+	defer flush(s) // want `defer in //emlint:hotpath function BadDefer`
+}
+
+// BadGo launches a goroutine per call.
+//
+//emlint:hotpath
+func BadGo(s []int) {
+	go flush(s) // want `go statement in //emlint:hotpath function BadGo`
+}
+
+// BadConcat builds a string per call.
+//
+//emlint:hotpath
+func BadConcat(a, b string) string {
+	return a + b // want `string concatenation in //emlint:hotpath function BadConcat`
+}
+
+// BadNew heap-allocates a node.
+//
+//emlint:hotpath
+func BadNew(v int) *node {
+	return &node{v: v} // want `&composite literal in //emlint:hotpath function BadNew`
+}
+
+type node struct{ v int }
+
+func sink(v interface{}) { _ = v }
+
+// BadBox boxes an int into an interface parameter.
+//
+//emlint:hotpath
+func BadBox(addr int) {
+	sink(addr) // want `interface conversion in //emlint:hotpath function BadBox`
+}
+
+// BadAssign boxes through an interface assignment.
+//
+//emlint:hotpath
+func BadAssign(v int) {
+	var i interface{}
+	i = v // want `interface conversion in //emlint:hotpath function BadAssign`
+	_ = i
+}
+
+// BadCall calls a direct allocator.
+//
+//emlint:hotpath
+func BadCall(n int) []int {
+	return allocate(n) // want `calls allocate, which allocates`
+}
+
+// BadTransitive reaches an allocator through a clean-looking hop.
+//
+//emlint:hotpath
+func BadTransitive(n int) []int {
+	return viaAlloc(n) // want `calls viaAlloc, which reaches an allocating function`
+}
+
+// OKCold calls a reviewed amortised path.
+//
+//emlint:hotpath
+func OKCold(s []int) []int {
+	return grow(s)
+}
+
+// OKCallClean calls a non-allocating helper.
+//
+//emlint:hotpath
+func OKCallClean(s []int) {
+	flush(s)
+}
+
+// OKIfaceToIface passes an interface value on without boxing.
+//
+//emlint:hotpath
+func OKIfaceToIface(v interface{}) {
+	sink(v)
+}
+
+// Unannotated may do anything.
+func Unannotated() []int {
+	s := make([]int, 8)
+	f := func() int { return 1 }
+	return append(s, f())
+}

@@ -1,0 +1,252 @@
+// Package nondeterminism implements the emlint analyzer guarding the
+// simulator's byte-identical-results invariant (DESIGN.md par.7): in
+// result-producing packages, no observable output may depend on map
+// iteration order, wall-clock time, the global math/rand source, or
+// racy goroutine writes. The experiment engine's whole determinism
+// model — results identical at every -j worker count — rests on these
+// sources of nondeterminism staying out of the result path.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags nondeterminism escaping into results.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: `forbid nondeterminism in result-producing packages
+
+Flags (1) range statements over maps whose loop body writes to anything
+declared outside the loop — iteration order then escapes into results;
+annotate a reviewed order-independent loop with //emlint:ordered.
+(2) any use of the global math/rand package (use the seeded
+repro/internal/trace.RNG) and of time.Now/time.Since (results must not
+depend on wall-clock time). (3) writes from a go-statement closure to
+captured variables that are not indexed by a variable local to the
+goroutine — the one sanctioned pattern is results[i] = r with i a
+per-job index.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectorExpr:
+				checkForbiddenRef(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineWrites(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body
+// writes to anything declared outside the loop, sends on a channel, or
+// returns — all ways iteration order can escape into results.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pass.Directives.OnLineOrAbove(pass.Fset, rng, analysis.DirOrdered) {
+		return
+	}
+	reported := false // one diagnostic per loop, at the first escape
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its writes are the closure's business
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if n.Tok == token.DEFINE && isDefinition(pass, lhs) {
+					continue
+				}
+				if escapes(pass, lhs, rng) {
+					reported = true
+					pass.Reportf(rng.For,
+						"map iteration order escapes through write to %q (line %d); iterate sorted keys or annotate //emlint:ordered",
+						exprString(lhs), pass.Fset.Position(n.Lhs[i].Pos()).Line)
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if escapes(pass, n.X, rng) {
+				reported = true
+				pass.Reportf(rng.For,
+					"map iteration order escapes through write to %q (line %d); iterate sorted keys or annotate //emlint:ordered",
+					exprString(n.X), pass.Fset.Position(n.X.Pos()).Line)
+				return false
+			}
+		case *ast.SendStmt:
+			reported = true
+			pass.Reportf(rng.For,
+				"map iteration order escapes through channel send (line %d); iterate sorted keys or annotate //emlint:ordered",
+				pass.Fset.Position(n.Pos()).Line)
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				reported = true
+				pass.Reportf(rng.For,
+					"map iteration order escapes through return (line %d); iterate sorted keys or annotate //emlint:ordered",
+					pass.Fset.Position(n.Pos()).Line)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isDefinition reports whether lhs is an identifier being defined by a
+// := in place (a fresh local, not an escaping write).
+func isDefinition(pass *analysis.Pass, lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return id.Name == "_" || pass.TypesInfo.Defs[id] != nil
+}
+
+// escapes reports whether writing to lhs mutates state declared
+// outside node.
+func escapes(pass *analysis.Pass, lhs ast.Expr, node ast.Node) bool {
+	root := analysis.RootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	return !analysis.DeclaredWithin(obj, node)
+}
+
+// checkForbiddenRef flags selector uses of the global math/rand source
+// and of wall-clock time.
+func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(sel.Pos(),
+			"use of global math/rand (%s.%s) in a result-producing package; use a seeded repro/internal/trace.RNG",
+			id.Name, sel.Sel.Name)
+	case "time":
+		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			pass.Reportf(sel.Pos(),
+				"use of time.%s in a result-producing package; results must not depend on wall-clock time",
+				sel.Sel.Name)
+		}
+	}
+}
+
+// checkGoroutineWrites flags writes from a go-statement closure to
+// captured variables unless the write lands in a slot indexed by a
+// goroutine-local variable (the per-job result pattern).
+func checkGoroutineWrites(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if n.Tok == token.DEFINE && isDefinition(pass, lhs) {
+					continue
+				}
+				checkCapturedWrite(pass, lhs, lit)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pass, n.X, lit)
+		}
+		return true
+	})
+}
+
+// checkCapturedWrite reports lhs when it writes a captured variable
+// without a goroutine-local index.
+func checkCapturedWrite(pass *analysis.Pass, lhs ast.Expr, lit *ast.FuncLit) {
+	if !escapes(pass, lhs, lit) {
+		return
+	}
+	// x[i] = ... with every identifier of the index expression declared
+	// inside the goroutine is the sanctioned job-indexed result write.
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if indexIsLocal(pass, ix.Index, lit) {
+			return
+		}
+	}
+	pass.Reportf(lhs.Pos(),
+		"goroutine writes captured variable %q without a goroutine-local index; results must be written to a job-indexed slot",
+		exprString(lhs))
+}
+
+// indexIsLocal reports whether every identifier in the index expression
+// is declared within the goroutine's closure (parameter or local).
+func indexIsLocal(pass *analysis.Pass, index ast.Expr, lit *ast.FuncLit) bool {
+	local := true
+	sawIdent := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		sawIdent = true
+		if !analysis.DeclaredWithin(obj, lit) {
+			local = false
+		}
+		return true
+	})
+	return sawIdent && local
+}
+
+// exprString renders a short name for lhs in diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, nondeterminism.Analyzer, "testdata/src/nondet")
+}

@@ -1,0 +1,132 @@
+// Package nondet is the golden fixture for the emlint nondeterminism
+// analyzer: each `want` comment marks a line where a diagnostic is
+// expected, and the remaining functions must stay clean.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+var table = map[string]int{"a": 1, "b": 2}
+
+// MapRangeEscapes leaks iteration order into the returned slice.
+func MapRangeEscapes() []int {
+	var out []int
+	for _, v := range table { // want `map iteration order escapes through write to "out"`
+		out = append(out, v)
+	}
+	return out
+}
+
+// MapRangeCounter leaks order through an increment of an outer counter.
+func MapRangeCounter() int {
+	n := 0
+	for range table { // want `map iteration order escapes through write to "n"`
+		n++
+	}
+	return n
+}
+
+// MapRangeSend leaks order through a channel send.
+func MapRangeSend(ch chan int) {
+	for _, v := range table { // want `map iteration order escapes through channel send`
+		ch <- v
+	}
+}
+
+// MapRangeReturn leaks order through an early return.
+func MapRangeReturn() string {
+	for k := range table { // want `map iteration order escapes through return`
+		return k
+	}
+	return ""
+}
+
+// SumOrdered is a reviewed order-independent accumulation.
+func SumOrdered() int {
+	sum := 0
+	//emlint:ordered
+	for _, v := range table {
+		sum += v
+	}
+	return sum
+}
+
+// LocalOnly writes nothing declared outside the loop.
+func LocalOnly() {
+	for k, v := range table {
+		s := k
+		_ = s
+		_ = v
+	}
+}
+
+// SliceRange is deterministic: ranging a slice is ordered.
+func SliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}
+
+// Jitter uses the global math/rand source.
+func Jitter() int {
+	return rand.Intn(10) // want `use of global math/rand`
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `use of time.Now in a result-producing package`
+}
+
+// Elapsed reads the wall clock via Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `use of time.Since in a result-producing package`
+}
+
+// Duration math on time values carries no wall-clock dependence.
+func Budget(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// Fill shows the sanctioned job-indexed result write next to two racy
+// captured writes.
+func Fill(jobs []int) []int {
+	results := make([]int, len(jobs))
+	var last int
+	counter := 0
+	for i, j := range jobs {
+		go func(i, j int) {
+			results[i] = j * 2
+			last = j  // want `goroutine writes captured variable "last"`
+			counter++ // want `goroutine writes captured variable "counter"`
+		}(i, j)
+	}
+	_ = last
+	_ = counter
+	return results
+}
+
+// FillLocalIndex indexes by a closure-local variable: sanctioned.
+func FillLocalIndex(jobs []int, results []int) {
+	for range jobs {
+		go func(i int) {
+			k := i
+			results[k] = 1
+		}(0)
+	}
+}
+
+// CapturedIndex indexes by a variable declared outside the goroutine:
+// the slot raced over is chosen by shared state.
+func CapturedIndex(jobs []int, results []int) {
+	i := 0
+	for range jobs {
+		go func() {
+			results[i] = 1 // want `goroutine writes captured variable "results\[...\]"`
+		}()
+		i++
+	}
+}

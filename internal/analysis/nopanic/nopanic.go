@@ -1,0 +1,92 @@
+// Package nopanic implements the emlint analyzer guarding the
+// error-discipline invariant established by the robustness PR: library
+// packages return errors instead of panicking, so a malformed
+// configuration or corrupt input degrades a run into a reported error
+// rather than killing an experiment sweep. Panics remain legitimate in
+// three places: Must*/must* wrappers (compile-time-constant call
+// sites), init functions, and documented internal-invariant traps
+// annotated //emlint:allowpanic with a reason.
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags panics in library code.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: `forbid panic in library packages outside Must* and init
+
+Library code must surface failures as errors. panic is allowed only in
+functions whose name starts with Must/must, in init, and at call sites
+annotated //emlint:allowpanic <reason> (reviewed internal-invariant
+traps that cannot fire on user input).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowedFunc(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// allowedFunc reports whether the whole function may panic by
+// convention: Must*/must* wrappers and init.
+func allowedFunc(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv == nil && name == "init" {
+		return true
+	}
+	return strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+}
+
+// checkFunc reports non-exempt panic calls in fd. Panics inside nested
+// function literals are attributed to the enclosing declaration (they
+// run under its name at runtime) and are checked the same way.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] != nil && pass.TypesInfo.Uses[id].Pkg() != nil {
+			return true // shadowed: a local function named panic
+		}
+		if pass.Directives.OnLineOrAbove(pass.Fset, call, analysis.DirAllowPanic) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic in library function %s: return an error (or add a Must%s wrapper); annotate //emlint:allowpanic <reason> only for documented internal-invariant traps",
+			fd.Name.Name, exportedName(fd.Name.Name))
+		return true
+	})
+}
+
+// exportedName renders name with an upper-case initial for the Must-
+// wrapper suggestion.
+func exportedName(name string) string {
+	if name == "" {
+		return name
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}

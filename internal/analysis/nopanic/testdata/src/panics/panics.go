@@ -1,0 +1,72 @@
+// Package panics is the golden fixture for the emlint nopanic
+// analyzer: raw panics in library functions are flagged; Must wrappers,
+// init, and annotated invariant traps are not.
+package panics
+
+import "fmt"
+
+// Config is the fixture's constructed type.
+type Config struct {
+	Ways int
+}
+
+// New validates with a panic instead of an error: flagged.
+func New(ways int) *Config {
+	if ways <= 0 {
+		panic("ways must be positive") // want `panic in library function New`
+	}
+	return &Config{Ways: ways}
+}
+
+// NewChecked is the error-returning shape the analyzer demands.
+func NewChecked(ways int) (*Config, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("ways must be positive, got %d", ways)
+	}
+	return &Config{Ways: ways}, nil
+}
+
+// MustNew may panic by convention.
+func MustNew(ways int) *Config {
+	c, err := NewChecked(ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustIndex is an unexported Must-convention helper.
+func mustIndex(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("index out of range")
+	}
+	return xs[i]
+}
+
+func init() {
+	if mustIndex([]int{1}, 0) != 1 {
+		panic("fixture self-check failed")
+	}
+}
+
+// Step panics on a documented internal invariant: annotated, allowed.
+func (c *Config) Step(state int) int {
+	if state < 0 {
+		//emlint:allowpanic state is produced by Step itself; negative means memory corruption
+		panic("corrupt state")
+	}
+	return state + c.Ways
+}
+
+// Helper panics inside a nested closure: attributed to Helper, flagged.
+func Helper(xs []int) func() {
+	return func() {
+		panic("boom") // want `panic in library function Helper`
+	}
+}
+
+// Shadowed calls a local function named panic: not the builtin.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not really")
+}

@@ -1,0 +1,12 @@
+package snapshotcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotcomplete"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, snapshotcomplete.Analyzer, "testdata/src/snap")
+}

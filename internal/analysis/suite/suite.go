@@ -1,0 +1,70 @@
+// Package suite assembles the emlint analyzers and encodes which
+// packages each one patrols. The scope lives here — in the driver
+// layer, not the analyzers — so golden tests can run an analyzer on
+// any fixture package while cmd/emlint applies the repository policy:
+//
+//   - nondeterminism: the result-producing packages whose output the
+//     byte-identical -j contract covers (report, runner, machine,
+//     affinity — cmd/ is excluded: benchreport legitimately reads the
+//     wall clock to time benchmark sections);
+//   - snapshotcomplete and hotpath: every package (they trigger only
+//     on snapshot pairs and annotations respectively);
+//   - nopanic: library packages under internal/ (commands may panic
+//     at top level; tests are exempt inside the analyzers).
+package suite
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/snapshotcomplete"
+)
+
+// ModulePath is the module all emlint policy is anchored to.
+const ModulePath = "repro"
+
+// All lists every emlint analyzer in reporting order.
+var All = []*analysis.Analyzer{
+	nondeterminism.Analyzer,
+	snapshotcomplete.Analyzer,
+	hotpath.Analyzer,
+	nopanic.Analyzer,
+}
+
+// resultPackages are the packages whose outputs feed tables, figures
+// and experiment results — the determinism contract's surface.
+var resultPackages = map[string]bool{
+	ModulePath + "/internal/report":   true,
+	ModulePath + "/internal/runner":   true,
+	ModulePath + "/internal/machine":  true,
+	ModulePath + "/internal/affinity": true,
+}
+
+// InModule reports whether pkgPath belongs to this module (and is not
+// a synthesised test-main package).
+func InModule(pkgPath string) bool {
+	if strings.HasSuffix(pkgPath, ".test") {
+		return false
+	}
+	return pkgPath == ModulePath || strings.HasPrefix(pkgPath, ModulePath+"/")
+}
+
+// ForPackage returns the analyzers that apply to pkgPath under the
+// repository policy, or nil for out-of-module packages.
+func ForPackage(pkgPath string) []*analysis.Analyzer {
+	if !InModule(pkgPath) {
+		return nil
+	}
+	var as []*analysis.Analyzer
+	if resultPackages[pkgPath] {
+		as = append(as, nondeterminism.Analyzer)
+	}
+	as = append(as, snapshotcomplete.Analyzer, hotpath.Analyzer)
+	if strings.HasPrefix(pkgPath, ModulePath+"/internal/") {
+		as = append(as, nopanic.Analyzer)
+	}
+	return as
+}

@@ -1,0 +1,63 @@
+package suite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/suite"
+)
+
+// TestCleanFixture asserts the negative fixture produces zero
+// diagnostics under every analyzer at once.
+func TestCleanFixture(t *testing.T) {
+	analysistest.RunAll(t, suite.All, "testdata/src/clean")
+}
+
+func TestForPackage(t *testing.T) {
+	names := func(pkg string) []string {
+		var out []string
+		for _, a := range suite.ForPackage(pkg) {
+			out = append(out, a.Name)
+		}
+		return out
+	}
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"repro/internal/report", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/internal/machine", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/internal/cache", []string{"snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/cmd/emsim", []string{"snapshotcomplete", "hotpath"}},
+		{"repro/internal/runner.test", nil},
+		{"fmt", nil},
+		{"example.com/other", nil},
+	}
+	for _, c := range cases {
+		got := names(c.pkg)
+		if len(got) != len(c.want) {
+			t.Errorf("ForPackage(%q) = %v, want %v", c.pkg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ForPackage(%q) = %v, want %v", c.pkg, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestInModule(t *testing.T) {
+	for pkg, want := range map[string]bool{
+		"repro":                      true,
+		"repro/internal/mem":         true,
+		"repro/internal/runner.test": false,
+		"reprox/internal/mem":        false,
+		"fmt":                        false,
+	} {
+		if got := suite.InModule(pkg); got != want {
+			t.Errorf("InModule(%q) = %v, want %v", pkg, got, want)
+		}
+	}
+}

@@ -92,6 +92,7 @@ func (g Geometry) Validate() error {
 func GeometryFor(capacityBytes int, lineShift uint, ways int, skewed bool) Geometry {
 	lines := capacityBytes >> lineShift
 	if lines <= 0 || lines%ways != 0 {
+		//emlint:allowpanic geometries are built from compile-time paper constants; front ends validate user capacities
 		panic(fmt.Sprintf("cache: capacity %dB incompatible with %d ways of %dB lines", capacityBytes, ways, 1<<lineShift))
 	}
 	sets := lines / ways
@@ -100,6 +101,7 @@ func GeometryFor(capacityBytes int, lineShift uint, ways int, skewed bool) Geome
 		log2++
 	}
 	if 1<<log2 != sets {
+		//emlint:allowpanic geometries are built from compile-time paper constants; front ends validate user capacities
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
 	return Geometry{Ways: ways, SetsLog2: log2, Skewed: skewed}

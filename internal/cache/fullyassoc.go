@@ -25,6 +25,7 @@ type FullyAssoc struct {
 // number of line frames.
 func NewFullyAssoc(capacityLines int) *FullyAssoc {
 	if capacityLines < 1 {
+		//emlint:allowpanic capacities come from Validated geometries and paper constants
 		panic("cache: fully-associative capacity < 1")
 	}
 	return &FullyAssoc{
@@ -97,6 +98,7 @@ func (c *FullyAssoc) Access(line mem.Line) (Handle, bool) {
 // Insert implements Cache. line must not already be present.
 func (c *FullyAssoc) Insert(line mem.Line, flags uint8) (Handle, Victim) {
 	if _, ok := c.index[line]; ok {
+		//emlint:allowpanic documented precondition: callers Insert only after a miss on the same line
 		panic("cache: Insert of resident line")
 	}
 	var f int32

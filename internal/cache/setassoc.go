@@ -19,13 +19,14 @@ type SetAssoc struct {
 	// setMask and wayStride are derived from geo once at construction:
 	// Lookup runs per simulated reference, and rederiving the mask and
 	// frame stride in the loop costs measurable time there.
-	setMask   uint64
-	wayStride int32
+	setMask   uint64 //emlint:nosnapshot derived from geo at construction
+	wayStride int32  //emlint:nosnapshot derived from geo at construction
 }
 
 // NewSetAssoc builds a set-associative cache with the given geometry.
 func NewSetAssoc(geo Geometry) *SetAssoc {
 	if err := geo.Validate(); err != nil {
+		//emlint:allowpanic geometries are Validated by machine.Config.Validate and built from paper constants
 		panic(err)
 	}
 	n := geo.Frames()
@@ -58,6 +59,8 @@ func (c *SetAssoc) frameOf(w int, line mem.Line) int32 {
 // frameOf, and the skewed walk keeps the SkewIndex call but avoids the
 // per-way branch. This is the single hottest function of the simulator
 // (every Access probes up to three cache levels through it).
+//
+//emlint:hotpath
 func (c *SetAssoc) Lookup(line mem.Line) (Handle, bool) {
 	if !c.geo.Skewed {
 		f := int32(uint64(line) & c.setMask)
@@ -101,6 +104,7 @@ func (c *SetAssoc) Insert(line mem.Line, flags uint8) (Handle, Victim) {
 	for w := 0; w < c.geo.Ways; w++ {
 		f := c.frameOf(w, line)
 		if c.valid[f] && c.lines[f] == line {
+			//emlint:allowpanic documented precondition: callers Insert only after a miss on the same line
 			panic("cache: Insert of resident line")
 		}
 		if !c.valid[f] {

@@ -29,14 +29,24 @@ const Infinite = int64(^uint64(0) >> 1)
 // unbounded — it tracks every distinct line ever referenced; NewLimited
 // caps the live-line count with LRU eviction.
 type Stack struct {
-	slot    map[mem.Line]int64 // line → time slot of last reference
-	tree    []int64            // Fenwick tree over slots, 1-based
-	used    int64              // next free slot (number of slots consumed)
-	live    int64              // number of live (distinct) lines
-	scratch []mem.Line         // reused during compaction
-	limit   int64              // max live lines (0 = unbounded)
-	rev     map[int64]mem.Line // slot → line, maintained only when limited
-	dropped uint64             // lines evicted by the cap
+	slot map[mem.Line]int64 // line → time slot of last reference
+	// Fenwick tree over slots, 1-based.
+	//emlint:nosnapshot rebuilt from slot by SetState
+	tree []int64
+	// used is the next free slot (number of slots consumed).
+	//emlint:nosnapshot slots are re-densified to 0..live-1 on restore
+	used int64
+	// live is the number of live (distinct) lines.
+	//emlint:nosnapshot derived: len(slot)
+	live int64
+	// scratch is reused during compaction.
+	//emlint:nosnapshot scratch, no cross-call state
+	scratch []mem.Line
+	limit   int64 // max live lines (0 = unbounded)
+	// rev maps slot → line, maintained only when limited.
+	//emlint:nosnapshot rebuilt from slot by SetState
+	rev     map[int64]mem.Line
+	dropped uint64 // lines evicted by the cap
 }
 
 // New returns an empty unbounded stack.
@@ -181,6 +191,7 @@ func (s *Stack) evict() {
 	sl := s.lowestLive()
 	line, ok := s.rev[sl]
 	if !ok {
+		//emlint:allowpanic internal invariant: rev mirrors slot whenever limit > 0
 		panic("lrustack: reverse slot map out of sync")
 	}
 	s.add(sl, -1)

@@ -28,6 +28,7 @@ type Profile struct {
 func NewProfile(thresholds []int64) *Profile {
 	for i := 1; i < len(thresholds); i++ {
 		if thresholds[i] <= thresholds[i-1] {
+			//emlint:allowpanic threshold grids are compile-time experiment constants (see report/fig45.go)
 			panic("lrustack: thresholds must ascend")
 		}
 	}

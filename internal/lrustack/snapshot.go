@@ -1,0 +1,74 @@
+package lrustack
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// StackState is the serialisable state of a Stack: the live lines in
+// recency order plus the eviction counter. Slot numbers, the Fenwick
+// tree and the reverse map are representation details — only the order
+// matters for depth queries — so restore re-densifies slots to
+// 0..live-1 and rebuilds the derived structures.
+type StackState struct {
+	// Lines holds the live lines, least recently used first.
+	Lines []mem.Line
+	// Limit echoes the producing stack's cap for shape validation.
+	Limit int64
+	// Dropped is the number of lines evicted by the cap.
+	Dropped uint64
+}
+
+// State returns a deep copy of the stack's state. The line order is
+// deterministic (ascending last-reference slot), so identical stacks
+// serialise identically.
+func (s *Stack) State() StackState {
+	lines := make([]mem.Line, 0, len(s.slot))
+	for l := range s.slot {
+		lines = append(lines, l)
+	}
+	sortBySlot(lines, s.slot)
+	return StackState{
+		Lines:   lines,
+		Limit:   s.limit,
+		Dropped: s.dropped,
+	}
+}
+
+// SetState restores a previously captured state, replacing the stack's
+// contents. The receiving stack must have the same limit regime as the
+// producer.
+func (s *Stack) SetState(st StackState) error {
+	if st.Limit != s.limit {
+		return fmt.Errorf("lrustack: state limit %d, stack limit %d", st.Limit, s.limit)
+	}
+	if s.limit > 0 && int64(len(st.Lines)) > s.limit {
+		return fmt.Errorf("lrustack: state has %d live lines, limit is %d", len(st.Lines), s.limit)
+	}
+	slot := make(map[mem.Line]int64, len(st.Lines))
+	for i, l := range st.Lines {
+		if _, dup := slot[l]; dup {
+			return fmt.Errorf("lrustack: state holds line %d twice", l)
+		}
+		slot[l] = int64(i)
+	}
+	s.slot = slot
+	s.live = int64(len(st.Lines))
+	s.used = s.live
+	treeCap := 1024
+	for int64(treeCap) <= s.used+1 {
+		treeCap *= 2
+	}
+	s.tree = make([]int64, treeCap)
+	s.rebuild()
+	if s.rev != nil {
+		clear(s.rev)
+		for l, sl := range s.slot {
+			s.rev[sl] = l
+		}
+	}
+	s.scratch = s.scratch[:0]
+	s.dropped = st.Dropped
+	return nil
+}

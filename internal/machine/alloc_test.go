@@ -62,7 +62,7 @@ func TestAccessSteadyStateZeroAllocs(t *testing.T) {
 			i++
 		})
 		if allocs != 0 {
-			t.Errorf("%s: %v allocs/op in steady-state Access", name, allocs)
+			t.Errorf("%s: %v allocs/op in steady-state Access; the //emlint:hotpath functions (Machine.Access, Machine.Instr and their callees) must stay allocation-free — run `make lint` to find the offending call", name, allocs)
 		}
 	}
 }

@@ -84,6 +84,7 @@ func MigrationConfig() Config { return MigrationConfigN(4) }
 func MigrationConfigN(cores int) Config {
 	cfg, err := MigrationConfigFor(cores)
 	if err != nil {
+		//emlint:allowpanic documented contract: front ends validate core counts; use MigrationConfigFor for user input
 		panic(err)
 	}
 	return cfg
@@ -290,7 +291,9 @@ func (m *Machine) Controller() *migration.Controller { return m.ctrl }
 // architectural register file (64 × 8 B values + identifiers).
 const RegisterSpillBytes = 64*8 + 64
 
-// Instr implements mem.Sink.
+// Instr implements mem.Sink. It runs once per trace instruction batch.
+//
+//emlint:hotpath
 func (m *Machine) Instr(n uint64) {
 	m.Stats.Instructions += n
 	if m.cfg.Migration == nil {
@@ -303,7 +306,11 @@ func (m *Machine) Instr(n uint64) {
 	m.Stats.UpdateBusBytes += 9 * n
 }
 
-// Access implements mem.Sink.
+// Access implements mem.Sink. It runs once per simulated memory
+// reference and must stay allocation-free in steady state (see
+// TestAccessSteadyStateZeroAllocs).
+//
+//emlint:hotpath
 func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 	line := mem.LineOf(addr, m.cfg.LineShift)
 	switch kind {

@@ -109,11 +109,14 @@ const DefaultTableLimit = 1 << 21
 
 // Controller tracks the active core and decides migrations.
 type Controller struct {
-	split       affinity.Splitter
-	table       affinity.Table
-	active      int
+	split  affinity.Splitter
+	table  affinity.Table
+	active int
+	// noFiltering and ptrOnly mirror immutable Config switches.
+	//emlint:nosnapshot configuration; states restore into identically configured controllers
 	noFiltering bool
-	ptrOnly     bool
+	//emlint:nosnapshot configuration; states restore into identically configured controllers
+	ptrOnly bool
 
 	// Migrations counts executed migrations.
 	Migrations uint64
@@ -163,7 +166,9 @@ func NewController(cfg Config) (*Controller, error) {
 		}
 		s2 := affinity.NewSplitter2(mc, table)
 		if cfg.Split2SampleLimit != 0 {
-			s2.SetSampleLimit(cfg.Split2SampleLimit)
+			if err := s2.SetSampleLimit(cfg.Split2SampleLimit); err != nil {
+				return nil, err
+			}
 		}
 		split = s2
 	case 0, 4:

@@ -38,6 +38,7 @@ func SweepWorkingSet(sizes []uint64, laps uint64, cores int) []SweepPoint {
 		// Reachable only through a bad core count or an internal
 		// configuration bug; callers of this legacy signature pass
 		// compile-time-constant cores.
+		//emlint:allowpanic legacy signature; callers pass compile-time-constant cores (use SweepWorkingSetOpt for user input)
 		panic(err)
 	}
 	return out

@@ -62,11 +62,13 @@ func (r *Region) Alloc(size, align uint64) mem.Addr {
 		align = 8
 	}
 	if align&(align-1) != 0 {
+		//emlint:allowpanic alignments are compile-time workload constants
 		panic("sim: alignment must be a power of two")
 	}
 	a := (uint64(r.next) + align - 1) &^ (align - 1)
 	end := a + size
 	if mem.Addr(end) > r.Limit {
+		//emlint:allowpanic documented contract: regions are sized for the workload; overflow is a workload bug
 		panic(fmt.Sprintf("sim: region %q exhausted (%d bytes)", r.Name, r.Limit-r.Base))
 	}
 	r.next = mem.Addr(end)

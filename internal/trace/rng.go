@@ -6,6 +6,10 @@
 // reproducible without touching math/rand.
 package trace
 
+import "errors"
+
+var errZeroState = errors.New("trace: all-zero RNG state is invalid")
+
 // RNG is a small, fast, deterministic pseudo-random generator
 // (xorshift128+). The zero value is not usable; construct with NewRNG.
 type RNG struct {
@@ -38,6 +42,31 @@ func (r *RNG) Seed(seed uint64) {
 	}
 }
 
+// RNGState is the serialisable state of an RNG: the two xorshift128+
+// words. Capturing it mid-stream and restoring it into another RNG
+// replays the exact remaining sequence — the checkpoint/resume path
+// uses this to keep resumed runs bit-identical to uninterrupted ones.
+type RNGState struct {
+	S0, S1 uint64
+}
+
+// State returns the generator's current state.
+func (r *RNG) State() RNGState {
+	return RNGState{S0: r.s0, S1: r.s1}
+}
+
+// SetState restores a previously captured state. The all-zero state is
+// not a valid xorshift128+ state (the generator would emit zeros
+// forever) and is rejected.
+func (r *RNG) SetState(st RNGState) error {
+	if st.S0 == 0 && st.S1 == 0 {
+		return errZeroState
+	}
+	r.s0 = st.S0
+	r.s1 = st.S1
+	return nil
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x, y := r.s0, r.s1
@@ -52,6 +81,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//emlint:allowpanic math/rand-style documented contract on n
 		panic("trace: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))
@@ -60,6 +90,7 @@ func (r *RNG) Intn(n int) int {
 // Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//emlint:allowpanic math/rand-style documented contract on n
 		panic("trace: Uint64n with zero n")
 	}
 	return r.Uint64() % n

@@ -50,6 +50,7 @@ func NewRegistry() *Registry {
 // Register adds a workload factory. Duplicate names panic.
 func (r *Registry) Register(name string, f func() Workload) {
 	if _, dup := r.factories[name]; dup {
+		//emlint:allowpanic init-time registry idiom: a duplicate name is a programming error caught on first run
 		panic(fmt.Sprintf("workloads: duplicate %q", name))
 	}
 	r.factories[name] = f
