@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench gobench short check fuzz results clean
+.PHONY: all build test vet lint bench gobench short check fuzz cover results clean
 
 all: build vet test
 
@@ -14,12 +14,20 @@ check: build vet lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz
 
-# Short fuzzing smoke: arbitrary bytes through the trace reader must
-# produce a typed error or a clean replay, never a panic. Extend
-# FUZZTIME for a real fuzzing session.
+# Short fuzzing smoke: arbitrary bytes through the trace reader and the
+# checkpoint reader must produce a typed error or a clean result, never
+# a panic. Extend FUZZTIME for a real fuzzing session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReplay -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpointRestore -fuzztime=$(FUZZTIME) ./internal/machine
+
+# Coverage gate: total statement coverage must stay above the ratchet
+# floor in ci/coverage.ratchet. After genuinely adding coverage, lift
+# the floor with `go run ./cmd/covergate -profile coverage.out -update`.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) run ./cmd/covergate -profile coverage.out -ratchet ci/coverage.ratchet
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+repro/a/a.go:1.1,5.2 3 1
+repro/a/a.go:7.1,9.2 2 0
+repro/b/b.go:1.1,4.2 5 7
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadProfile(t *testing.T) {
+	covered, total, err := readProfile(writeFile(t, "c.out", sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 8 || total != 10 {
+		t.Fatalf("covered/total = %d/%d, want 8/10", covered, total)
+	}
+}
+
+func TestReadProfileMergedDuplicates(t *testing.T) {
+	// The same block seen uncovered then covered counts once, covered.
+	profile := "mode: set\nrepro/a/a.go:1.1,5.2 3 0\nrepro/a/a.go:1.1,5.2 3 2\n"
+	covered, total, err := readProfile(writeFile(t, "c.out", profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 3 || total != 3 {
+		t.Fatalf("covered/total = %d/%d, want 3/3", covered, total)
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no mode header\n",
+		"mode: set\nnot a block line\n",
+		"mode: set\nrepro/a.go:1.1,2.2 x 1\n",
+	} {
+		if _, _, err := readProfile(writeFile(t, "c.out", bad)); err == nil {
+			t.Fatalf("profile %q accepted", bad)
+		}
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	profile := writeFile(t, "c.out", sampleProfile) // 80.0%
+	if err := run(profile, writeFile(t, "r", "75.0\n"), false); err != nil {
+		t.Fatalf("80%% against floor 75%%: %v", err)
+	}
+	err := run(profile, writeFile(t, "r", "85.0\n"), false)
+	if err == nil || !strings.Contains(err.Error(), "fell below") {
+		t.Fatalf("80%% against floor 85%%: %v", err)
+	}
+}
+
+func TestGateUpdateRaisesButNeverLowers(t *testing.T) {
+	profile := writeFile(t, "c.out", sampleProfile) // 80.0%
+	ratchet := writeFile(t, "r", "60.0\n")
+	if err := run(profile, ratchet, true); err != nil {
+		t.Fatal(err)
+	}
+	floor, err := readRatchet(ratchet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 79.5 {
+		t.Fatalf("updated floor = %.1f, want 79.5 (80.0 minus slack)", floor)
+	}
+	// A second update from the same profile must not lower it.
+	if err := run(profile, ratchet, true); err != nil {
+		t.Fatal(err)
+	}
+	if floor2, _ := readRatchet(ratchet); floor2 < floor {
+		t.Fatalf("update lowered the floor: %.1f -> %.1f", floor, floor2)
+	}
+}

@@ -49,6 +49,9 @@ func main() {
 		jobs      = flag.Int("j", 0, "worker pool for the two machine passes: 0 = all cores, 1 = serial legacy tee pass (checkpoint/resume force serial)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		timeline  = flag.String("timeline", "", "write per-interval metric samples of both machines as JSONL to this file (\"-\" = stdout)")
+		interval  = flag.Uint64("interval", 1_000_000, "events between timeline/metrics samples")
+		metrics   = flag.String("metrics", "", "serve live metrics as JSON on this address (e.g. :8080) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -73,6 +76,9 @@ func main() {
 	if *record != "" && *resume != "" {
 		fail(fmt.Errorf("emsim: -record and -resume are mutually exclusive"))
 	}
+	if (*timeline != "" || *metrics != "") && *interval == 0 {
+		fail(fmt.Errorf("emsim: -interval must be positive with -timeline or -metrics"))
+	}
 	p := runParams{
 		Workload:        *name,
 		Instr:           *instr,
@@ -82,6 +88,9 @@ func main() {
 		Checkpoint:      *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+	}
+	if *timeline != "" || *metrics != "" {
+		p.TimelineInterval = *interval
 	}
 	if *resume == "" {
 		if err := p.validate(); err != nil {
@@ -124,10 +133,24 @@ func main() {
 		fail(err)
 	}
 
+	if *metrics != "" {
+		live, addr, err := serveMetrics(*metrics)
+		if err != nil {
+			fail(err)
+		}
+		p.live = live
+		fmt.Fprintf(os.Stderr, "emsim: serving metrics on http://%s/\n", addr)
+	}
+
 	res, err := run(&p)
 	if err != nil {
 		stopProfiles()
 		fail(err)
+	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, res.Timeline); err != nil {
+			fail(err)
+		}
 	}
 	report(p, res)
 	// os.Exit skips deferred calls, so the profiles are flushed

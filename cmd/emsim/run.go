@@ -9,6 +9,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/telhttp"
 	"repro/internal/trace"
 	"repro/internal/workloads/suite"
 )
@@ -32,6 +34,16 @@ type runParams struct {
 	Checkpoint      string // checkpoint file path ("" = no checkpointing)
 	CheckpointEvery uint64 // events between periodic checkpoints (0 = only on interrupt)
 	Resume          string // resume from this checkpoint file
+
+	// TimelineInterval, when positive, samples every machine metric at
+	// each multiple of this event count; the samples come back as
+	// runResult.Timeline. Both the serial tee pass and the independent
+	// parallel passes number events identically, so the rows are
+	// byte-identical for every worker count.
+	TimelineInterval uint64
+	// live, when non-nil, receives metric snapshots at every timeline
+	// boundary (the -metrics endpoint).
+	live *telhttp.Live
 
 	// stop, when it becomes true mid-run, aborts the pass at the next
 	// event boundary (the SIGINT path). A final checkpoint is written if
@@ -65,6 +77,11 @@ type runResult struct {
 	Events      uint64
 	Interrupted bool
 	Resumed     uint64 // events skipped during resume fast-forward (0 = fresh run)
+
+	// Timeline holds the interval samples of both machines, merged into
+	// the deterministic output order (present only with
+	// runParams.TimelineInterval set).
+	Timeline []telemetry.Row
 }
 
 // stopRun is the panic sentinel ckptSink throws to unwind out of a
@@ -93,6 +110,7 @@ type ckptSink struct {
 	skip   uint64 // resume fast-forward: discard the first skip events
 	every  uint64
 	save   func(events uint64)
+	tick   func(events uint64) // timeline sampling hook, nil when disabled
 	stop   *atomic.Bool
 	after  uint64
 }
@@ -100,11 +118,17 @@ type ckptSink struct {
 // Access and Instr inline the shared per-event bookkeeping instead of
 // delegating through a step(func()) helper: the closure that would
 // capture addr/kind costs an allocation per event on the hot path.
+// tick runs inside the events > skip branch (resume fast-forward must
+// not sample discarded events) and before checkStop, so an interrupted
+// run keeps every sample up to the stop point.
 
 func (c *ckptSink) Access(addr mem.Addr, kind mem.Kind) {
 	c.events++
 	if c.events > c.skip {
 		c.inner.Access(addr, kind)
+		if c.tick != nil {
+			c.tick(c.events)
+		}
 		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
 			c.save(c.events)
 		}
@@ -116,6 +140,9 @@ func (c *ckptSink) Instr(n uint64) {
 	c.events++
 	if c.events > c.skip {
 		c.inner.Instr(n)
+		if c.tick != nil {
+			c.tick(c.events)
+		}
 		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
 			c.save(c.events)
 		}
@@ -192,12 +219,16 @@ func run(p *runParams) (*runResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel, err := newRunTelemetry(p, normal, mig)
+	if err != nil {
+		return nil, err
+	}
 
 	// With no checkpoint state in play the two machines never need to
 	// agree on an event boundary, so they can consume independent copies
 	// of the (deterministic) input stream concurrently.
 	if p.Workers != 1 && p.Checkpoint == "" && resumeCk == nil {
-		return runIndependent(p, normal, mig)
+		return runIndependent(p, normal, mig, tel)
 	}
 
 	var skip uint64
@@ -263,6 +294,9 @@ func run(p *runParams) (*runResult, error) {
 		stop:  p.stop,
 		after: p.stopAfter,
 	}
+	if tel != nil {
+		sink.tick = tel.tickBoth
+	}
 	interrupted, err := drive(*p, sink)
 	if err != nil {
 		return nil, err
@@ -288,6 +322,7 @@ func run(p *runParams) (*runResult, error) {
 		Events:      sink.events,
 		Interrupted: interrupted,
 		Resumed:     skip,
+		Timeline:    tel.finish(),
 	}, nil
 }
 
@@ -299,10 +334,14 @@ func run(p *runParams) (*runResult, error) {
 // so also stops deterministically; only an asynchronous SIGINT may
 // catch the two passes at different events, in which case the partial
 // report covers whatever each machine had consumed.
-func runIndependent(p *runParams, normal, mig *machine.Machine) (*runResult, error) {
+func runIndependent(p *runParams, normal, mig *machine.Machine, tel *runTelemetry) (*runResult, error) {
 	sinks := [2]*ckptSink{
 		{inner: normal, stop: p.stop, after: p.stopAfter},
 		{inner: mig, stop: p.stop, after: p.stopAfter},
+	}
+	if tel != nil {
+		sinks[0].tick = tel.tickNormal
+		sinks[1].tick = tel.tickMig
 	}
 	var interrupted [2]bool
 	pass := func(i int) func(context.Context) error {
@@ -320,5 +359,6 @@ func runIndependent(p *runParams, normal, mig *machine.Machine) (*runResult, err
 		Mig:         mig.FinalStats(),
 		Events:      max(sinks[0].events, sinks[1].events),
 		Interrupted: interrupted[0] || interrupted[1],
+		Timeline:    tel.finish(),
 	}, nil
 }

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+)
+
+// timelineBytes renders a run's timeline rows to the JSONL the
+// -timeline flag would write.
+func timelineBytes(t *testing.T, res *runResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTimelineSerialParallelByteIdentical: the timeline JSONL is part
+// of the serial-vs-parallel golden contract — every worker count must
+// produce byte-identical output.
+func TestTimelineSerialParallelByteIdentical(t *testing.T) {
+	base := runParams{Workload: "181.mcf", Instr: 300_000, Cores: 4, TimelineInterval: 50_000}
+
+	sp := base
+	sp.Workers = 1
+	serial, err := run(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Timeline) < 4 {
+		t.Fatalf("only %d timeline rows; interval too coarse for the workload", len(serial.Timeline))
+	}
+	want := timelineBytes(t, serial)
+
+	for _, workers := range []int{2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pp := base
+			pp.Workers = workers
+			parallel, err := run(&pp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := timelineBytes(t, parallel)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("timeline diverged from serial run:\nserial:\n%s\nworkers=%d:\n%s", want, workers, got)
+			}
+		})
+	}
+}
+
+// TestTimelineRowShape: rows alternate normal/migration per interval,
+// carry monotonic event numbers, and their counters track the final
+// stats (the last migration row's l2_misses can never exceed the run's
+// total).
+func TestTimelineRowShape(t *testing.T) {
+	p := runParams{Workload: "em3d", Instr: 200_000, Cores: 2, Workers: 1, TimelineInterval: 40_000}
+	res, err := run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 || len(res.Timeline)%2 != 0 {
+		t.Fatalf("want paired rows, got %d", len(res.Timeline))
+	}
+	var lastMigL2 uint64
+	for i, row := range res.Timeline {
+		wantMachine := "normal"
+		if i%2 == 1 {
+			wantMachine = "migration"
+		}
+		if row.Machine != wantMachine {
+			t.Fatalf("row %d machine %q, want %q", i, row.Machine, wantMachine)
+		}
+		if row.Interval != i/2 {
+			t.Fatalf("row %d interval %d, want %d", i, row.Interval, i/2)
+		}
+		if want := uint64(row.Interval+1) * p.TimelineInterval; row.Events != want {
+			t.Fatalf("row %d at event %d, want %d", i, row.Events, want)
+		}
+		if row.Machine == "migration" {
+			if row.Counters[machine.MetricL2Misses] < lastMigL2 {
+				t.Fatalf("row %d l2_misses went backwards", i)
+			}
+			lastMigL2 = row.Counters[machine.MetricL2Misses]
+			if _, ok := row.Counters[machine.MetricCtrlRequests]; !ok {
+				t.Fatalf("migration row %d lacks controller counters: %v", i, row.Counters)
+			}
+		}
+	}
+	if lastMigL2 > res.Mig.L2Misses {
+		t.Fatalf("last sampled l2_misses %d exceeds final %d", lastMigL2, res.Mig.L2Misses)
+	}
+}
+
+// TestTimelineSurvivesInterruptAndResume: an interrupted run keeps its
+// samples up to the stop point; the resumed run samples only boundaries
+// past the restored event count (restored metric values included), so
+// the concatenation covers the full run without overlap.
+func TestTimelineSurvivesInterruptAndResume(t *testing.T) {
+	dir := t.TempDir()
+	base := runParams{Workload: "179.art", Instr: 300_000, Cores: 4}
+
+	// Probe the workload's event count so interval and cut can sit at
+	// deterministic positions inside the run.
+	probe := base
+	probe.Workers = 1
+	pr, err := run(&probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.TimelineInterval = pr.Events / 6
+
+	refp := base
+	refp.Workers = 1
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Timeline) < 4 {
+		t.Fatalf("reference run produced only %d rows", len(ref.Timeline))
+	}
+
+	cut := base.TimelineInterval*3 + base.TimelineInterval/2 // between the 3rd and 4th boundary
+	ckpt := filepath.Join(dir, "tl.ckpt")
+	p := base
+	p.Checkpoint = ckpt
+	p.stopAfter = cut
+	res, err := run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("stop-after did not trigger")
+	}
+	wantRows := int(cut/base.TimelineInterval) * 2
+	if len(res.Timeline) != wantRows {
+		t.Fatalf("interrupted run kept %d rows, want %d", len(res.Timeline), wantRows)
+	}
+
+	q := runParams{Resume: ckpt, TimelineInterval: base.TimelineInterval}
+	res2, err := run(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([]telemetry.Row{}, res.Timeline...), res2.Timeline...)
+	if len(combined) != len(ref.Timeline) {
+		t.Fatalf("interrupt+resume rows = %d, reference %d", len(combined), len(ref.Timeline))
+	}
+	// Event numbering and counter values must line up with the
+	// uninterrupted reference at every sampled boundary.
+	for i, row := range combined {
+		refRow := ref.Timeline[i]
+		if row.Events != refRow.Events || row.Machine != refRow.Machine {
+			t.Fatalf("row %d is (%s, %d), reference (%s, %d)", i, row.Machine, row.Events, refRow.Machine, refRow.Events)
+		}
+		for name, v := range refRow.Counters {
+			if row.Counters[name] != v {
+				t.Fatalf("row %d %s/%s = %d, reference %d", i, row.Machine, name, row.Counters[name], v)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	tables -table1                # Table 1 only
 //	tables -table2                # Table 2 only
+//	tables -timeline -interval 1000000  # per-interval metric deltas over time
 //	tables -instr 50000000        # instruction budget per workload
 //	tables -only 179.art,181.mcf  # restrict to some workloads
 //	tables -j 8                   # worker pool size (0 = all cores, 1 = serial)
@@ -25,14 +26,16 @@ import (
 
 func main() {
 	var (
-		t1    = flag.Bool("table1", false, "print Table 1 only")
-		t2    = flag.Bool("table2", false, "print Table 2 only")
-		sweep = flag.Bool("sweep", false, "print the working-set-size sweep (the Table 2 trade on a synthetic circular workload) and exit")
-		cores = flag.Int("cores", 4, "cores for the -sweep migration machine")
-		laps  = flag.Uint64("laps", 40, "laps per -sweep point")
-		instr = flag.Uint64("instr", 20_000_000, "instruction budget per workload (paper: 1e9)")
-		only  = flag.String("only", "", "comma-separated subset of workloads")
-		jobs  = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
+		t1       = flag.Bool("table1", false, "print Table 1 only")
+		t2       = flag.Bool("table2", false, "print Table 2 only")
+		sweep    = flag.Bool("sweep", false, "print the working-set-size sweep (the Table 2 trade on a synthetic circular workload) and exit")
+		cores    = flag.Int("cores", 4, "cores for the -sweep migration machine")
+		laps     = flag.Uint64("laps", 40, "laps per -sweep point")
+		instr    = flag.Uint64("instr", 20_000_000, "instruction budget per workload (paper: 1e9)")
+		only     = flag.String("only", "", "comma-separated subset of workloads")
+		jobs     = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
+		timeline = flag.Bool("timeline", false, "print the per-interval timeline table (Table 2's trade resolved over time) and exit")
+		interval = flag.Uint64("interval", 1_000_000, "events between -timeline samples")
 	)
 	flag.Parse()
 
@@ -56,7 +59,7 @@ func main() {
 		fmt.Println(report.FormatSweep(points))
 		return
 	}
-	if !*t1 && !*t2 {
+	if !*t1 && !*t2 && !*timeline {
 		*t1, *t2 = true, true
 	}
 
@@ -67,6 +70,17 @@ func main() {
 		for _, n := range strings.Split(*only, ",") {
 			names = append(names, strings.TrimSpace(n))
 		}
+	}
+
+	if *timeline {
+		fmt.Printf("per-interval timeline, %d events per interval, %dM instructions per workload\n\n",
+			*interval, *instr/1_000_000)
+		batch, err := report.TimelineBatch(reg, names, *instr, *interval, opt("timeline"))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTimeline(batch))
+		return
 	}
 
 	if *t1 {

@@ -1,0 +1,157 @@
+// Package e2e runs the built command-line binaries end to end on tiny
+// workloads and locks their output formats with checked-in goldens.
+// Regenerate the goldens after an intentional format change with:
+//
+//	go test ./e2e -update
+package e2e
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+// binDir holds the freshly built emsim and tables binaries for the
+// whole test run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "emsim-e2e-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	build := exec.Command("go", "build", "-o", dir, "repro/cmd/emsim", "repro/cmd/tables")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "building CLI binaries:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	binDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runCLI executes one binary with args and returns its stdout; stderr
+// (progress lines, metric-server banner) is returned separately.
+func runCLI(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr:\n%s", bin, strings.Join(args, " "), err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./e2e -update` to create the goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// emsimArgs is the canonical tiny-workload invocation: small enough to
+// run in well under a second, large enough for several timeline
+// intervals.
+func emsimArgs(extra ...string) []string {
+	return append([]string{"-workload", "mst", "-instr", "200000", "-cores", "4", "-interval", "50000"}, extra...)
+}
+
+// TestEmsimReportGolden locks the emsim report format and the -timeline
+// JSONL format, and requires the timeline to span at least 2 intervals
+// (4 rows: both machines per interval).
+func TestEmsimReportGolden(t *testing.T) {
+	tl := filepath.Join(t.TempDir(), "tl.jsonl")
+	stdout, _ := runCLI(t, "emsim", emsimArgs("-timeline", tl, "-j", "1")...)
+	checkGolden(t, "emsim_mst.golden", []byte(stdout))
+
+	jsonl, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := bytes.Count(jsonl, []byte("\n"))
+	if rows < 4 {
+		t.Fatalf("timeline has %d rows, want >= 4 (2 intervals x 2 machines):\n%s", rows, jsonl)
+	}
+	checkGolden(t, "emsim_mst_timeline.golden", jsonl)
+}
+
+// TestEmsimTimelineParallelMatchesGolden reruns the same workload with
+// the parallel two-pass engine; the timeline file must be byte-equal to
+// the serial golden.
+func TestEmsimTimelineParallelMatchesGolden(t *testing.T) {
+	for _, j := range []string{"2", "0"} {
+		tl := filepath.Join(t.TempDir(), "tl.jsonl")
+		runCLI(t, "emsim", emsimArgs("-timeline", tl, "-j", j)...)
+		jsonl, err := os.ReadFile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "emsim_mst_timeline.golden", jsonl)
+	}
+}
+
+// TestEmsimTimelineStdout: "-timeline -" streams the JSONL to stdout
+// ahead of the report, so stdout must start with the timeline golden.
+func TestEmsimTimelineStdout(t *testing.T) {
+	stdout, _ := runCLI(t, "emsim", emsimArgs("-timeline", "-", "-j", "1")...)
+	want, err := os.ReadFile(filepath.Join("testdata", "emsim_mst_timeline.golden"))
+	if err != nil {
+		t.Fatalf("%v (run `go test ./e2e -update` first)", err)
+	}
+	if !bytes.HasPrefix([]byte(stdout), want) {
+		t.Fatalf("stdout does not start with the timeline JSONL:\n%s", stdout)
+	}
+}
+
+// TestEmsimMetricsFlag: the -metrics listener comes up (the banner
+// names the bound address) and the run completes normally with
+// telemetry enabled.
+func TestEmsimMetricsFlag(t *testing.T) {
+	stdout, stderr := runCLI(t, "emsim", emsimArgs("-metrics", "127.0.0.1:0", "-j", "1")...)
+	if !strings.Contains(stderr, "serving metrics on http://127.0.0.1:") {
+		t.Fatalf("metrics banner missing from stderr:\n%s", stderr)
+	}
+	checkGolden(t, "emsim_mst.golden", []byte(stdout))
+}
+
+// TestTablesTimelineGolden locks the tables -timeline format and its
+// serial-vs-parallel byte identity.
+func TestTablesTimelineGolden(t *testing.T) {
+	args := []string{"-timeline", "-interval", "50000", "-instr", "300000", "-only", "mst,em3d"}
+	serial, _ := runCLI(t, "tables", append(args, "-j", "1")...)
+	checkGolden(t, "tables_timeline.golden", []byte(serial))
+	parallel, _ := runCLI(t, "tables", append(args, "-j", "2")...)
+	if serial != parallel {
+		t.Fatalf("tables -timeline diverged between -j 1 and -j 2:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

@@ -1,0 +1,240 @@
+package affinity
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file differentially tests the practical splitters (Splitter2,
+// Splitter4) against the paper's Definition 1 ideal algorithm on small
+// synthetic traces. The two are NOT element-for-element identical — the
+// practical mechanism postpones updates, saturates at a finite bit
+// width and low-passes the subset through a transition filter — so each
+// assertion states a documented approximation bound instead:
+//
+//   - balance: on a splittable stream both sides classify 30–70% of the
+//     working set into each subset (§3.3's negative feedback);
+//   - agreement: the practical balance tracks the ideal balance within
+//     20% of the working set;
+//   - structure: on HalfRandom the ideal separates the two halves at
+//     80/20 and the mechanism at 90/10, with ≥ 75% polarity-aligned
+//     element agreement between them;
+//   - shares: 4-way reference-share histograms put every subset in
+//     [10%, 45%] for both implementations (perfect split: 25%).
+//
+// Every failure dumps the trace parameters and tail so the exact input
+// can be replayed.
+
+// recordTrace materialises n references from g so the identical stream
+// can be replayed into several models and dumped on failure.
+func recordTrace(g trace.Generator, n int) []mem.Line {
+	lines := make([]mem.Line, n)
+	for i := range lines {
+		lines[i] = mem.Line(g.Next())
+	}
+	return lines
+}
+
+// dumpTrace renders the trace parameters and its last refs for failure
+// messages — enough to reconstruct and replay the failing input.
+func dumpTrace(desc string, lines []mem.Line) string {
+	const tail = 48
+	start := 0
+	if len(lines) > tail {
+		start = len(lines) - tail
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s, %d refs, tail from ref %d:\n", desc, len(lines), start)
+	for i := start; i < len(lines); i++ {
+		fmt.Fprintf(&b, " %d", lines[i])
+	}
+	return b.String()
+}
+
+// positiveCount counts elements of [0, n) with positive affinity sign.
+func positiveCount(aff func(mem.Line) int64, n uint64) int {
+	pos := 0
+	for e := uint64(0); e < n; e++ {
+		if Sign(aff(mem.Line(e))) > 0 {
+			pos++
+		}
+	}
+	return pos
+}
+
+// TestSplitter2DifferentialCircular replays one recorded Circular trace
+// into the ideal algorithm and Splitter2 and checks the documented
+// bounds: both balanced 30–70, balances within 20% of each other, and
+// at most 8 sign boundaries along the circular element order for each
+// (optimal: 2).
+func TestSplitter2DifferentialCircular(t *testing.T) {
+	const n, window, refs = 400, 20, 150_000
+	lines := recordTrace(trace.NewCircular(n), refs)
+	desc := fmt.Sprintf("Circular(N=%d) window=%d", n, window)
+
+	id := NewIdeal(window, 16)
+	sp := NewSplitter2(MechConfig{WindowSize: window, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for _, e := range lines {
+		id.Ref(e)
+		sp.Ref(e, true)
+	}
+
+	pi := positiveCount(id.AffinityOf, n)
+	pm := positiveCount(sp.M.AffinityOf, n)
+	if pi < n*30/100 || pi > n*70/100 {
+		t.Fatalf("ideal unbalanced: %d/%d positive\n%s", pi, n, dumpTrace(desc, lines))
+	}
+	if pm < n*30/100 || pm > n*70/100 {
+		t.Fatalf("splitter2 unbalanced: %d/%d positive\n%s", pm, n, dumpTrace(desc, lines))
+	}
+	if diff := pi - pm; diff < -n*20/100 || diff > n*20/100 {
+		t.Fatalf("balances diverged: ideal %d positive, splitter2 %d (bound: ±%d)\n%s",
+			pi, pm, n*20/100, dumpTrace(desc, lines))
+	}
+	for name, aff := range map[string]func(mem.Line) int64{"ideal": id.AffinityOf, "splitter2": sp.M.AffinityOf} {
+		signs := make([]int64, n)
+		for e := range signs {
+			signs[e] = Sign(aff(mem.Line(e)))
+		}
+		if tr := signTransitions(signs); tr > 8 {
+			t.Fatalf("%s has %d sign boundaries along Circular order (optimal 2, bound 8)\nsigns: %v\n%s",
+				name, tr, signs, dumpTrace(desc, lines))
+		}
+	}
+}
+
+// TestSplitter2DifferentialHalfRandom: on HalfRandom the natural split
+// is the two element-space halves. The ideal must separate them at
+// least 80/20, the mechanism at least 90/10, and — polarity aligned —
+// the two must classify at least 75% of elements identically.
+func TestSplitter2DifferentialHalfRandom(t *testing.T) {
+	const n, m, window, refs = 400, 30, 20, 200_000
+	lines := recordTrace(trace.Must(trace.NewHalfRandom(n, m, 1)), refs)
+	desc := fmt.Sprintf("HalfRandom(N=%d, m=%d, seed=1) window=%d", n, m, window)
+
+	id := NewIdeal(window, 16)
+	sp := NewSplitter2(MechConfig{WindowSize: window, AffinityBits: 16, FilterBits: 20}, NewUnbounded())
+	for _, e := range lines {
+		id.Ref(e)
+		sp.Ref(e, true)
+	}
+
+	sep := func(name string, aff func(mem.Line) int64, bound float64) {
+		low := float64(positiveCountRange(aff, 0, n/2)) / (n / 2)
+		high := float64(positiveCountRange(aff, n/2, n)) / (n / 2)
+		if !((low > bound && high < 1-bound) || (low < 1-bound && high > bound)) {
+			t.Fatalf("%s did not separate the halves (bound %.2f): lower %.2f positive, upper %.2f\n%s",
+				name, bound, low, high, dumpTrace(desc, lines))
+		}
+	}
+	sep("ideal", id.AffinityOf, 0.80)
+	sep("splitter2", sp.M.AffinityOf, 0.90)
+
+	// Element-wise agreement, aligned for polarity (the sign labelling of
+	// the two subsets is arbitrary and may differ between the models).
+	match := 0
+	for e := uint64(0); e < n; e++ {
+		if Sign(id.AffinityOf(mem.Line(e))) == Sign(sp.M.AffinityOf(mem.Line(e))) {
+			match++
+		}
+	}
+	if match < n/2 {
+		match = n - match
+	}
+	if match < n*75/100 {
+		t.Fatalf("ideal and splitter2 agree on only %d/%d elements (bound 75%%)\n%s",
+			match, n, dumpTrace(desc, lines))
+	}
+}
+
+// positiveCountRange counts elements of [lo, hi) with positive sign.
+func positiveCountRange(aff func(mem.Line) int64, lo, hi uint64) int {
+	pos := 0
+	for e := lo; e < hi; e++ {
+		if Sign(aff(mem.Line(e))) > 0 {
+			pos++
+		}
+	}
+	return pos
+}
+
+// idealSplit4 applies Definition 1 recursively (§3.6): one ideal
+// mechanism X over the whole stream, one ideal Y per X-half, each
+// reference routed to the Y of its current X sign. The subset of a
+// reference is the (sign X, sign Y) pair — the ideal counterpart of
+// Splitter4's filter-sign pair.
+type idealSplit4 struct {
+	x, ypos, yneg *Ideal
+}
+
+func (d *idealSplit4) ref(e mem.Line) int {
+	d.x.Ref(e)
+	sub := 0
+	y := d.ypos
+	if Sign(d.x.AffinityOf(e)) < 0 {
+		sub = 2
+		y = d.yneg
+	}
+	y.Ref(e)
+	if Sign(y.AffinityOf(e)) < 0 {
+		sub++
+	}
+	return sub
+}
+
+// TestSplitter4DifferentialIdealRecursive replays one Circular trace
+// into the recursive ideal splitter and Splitter4 and compares
+// reference-share histograms over a probe window after warm-up: every
+// subset must serve 10–45% of references in both (perfect: 25%), and
+// the top-level split (subsets {0,1} vs {2,3}) must be 30–70 balanced
+// in both. Subset numbering is polarity-dependent, so only shares are
+// compared, never labels.
+func TestSplitter4DifferentialIdealRecursive(t *testing.T) {
+	// 16-bit filters: at this small scale the paper's 20-bit hysteresis
+	// is too deep for the Y filters to settle — a 200-element lap feeds
+	// each Y mechanism only ~50 sampled refs, so the shorter filter is
+	// what makes the four-way split observable within the probe budget.
+	const n, warmup, probe = 200, 60_000, 40_000
+	xCfg := MechConfig{WindowSize: 20, AffinityBits: 16, FilterBits: 16}
+	yCfg := MechConfig{WindowSize: 10, AffinityBits: 16, FilterBits: 16}
+	lines := recordTrace(trace.NewCircular(n), warmup+probe)
+	desc := fmt.Sprintf("Circular(N=%d) X.window=%d Y.window=%d", n, xCfg.WindowSize, yCfg.WindowSize)
+
+	id := &idealSplit4{
+		x:    NewIdeal(xCfg.WindowSize, 16),
+		ypos: NewIdeal(yCfg.WindowSize, 16),
+		yneg: NewIdeal(yCfg.WindowSize, 16),
+	}
+	sp := NewSplitter4(Split4Config{X: xCfg, Y: yCfg, SampleLimit: 31}, NewUnbounded())
+
+	var idShare, spShare [4]uint64
+	for i, e := range lines {
+		is := id.ref(e)
+		ss := sp.Ref(e, true)
+		if i >= warmup {
+			idShare[is]++
+			spShare[ss]++
+		}
+	}
+
+	check := func(name string, share [4]uint64) {
+		for sub, c := range share {
+			frac := float64(c) / probe
+			if frac < 0.10 || frac > 0.45 {
+				t.Fatalf("%s subset %d serves %.1f%% of probe references (bound [10%%,45%%]; shares %v)\n%s",
+					name, sub, frac*100, share, dumpTrace(desc, lines))
+			}
+		}
+		top := float64(share[0]+share[1]) / probe
+		if top < 0.30 || top > 0.70 {
+			t.Fatalf("%s top-level split unbalanced: %.1f%% in subsets {0,1} (shares %v)\n%s",
+				name, top*100, share, dumpTrace(desc, lines))
+		}
+	}
+	check("ideal", idShare)
+	check("splitter4", spShare)
+}

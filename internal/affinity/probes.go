@@ -1,0 +1,16 @@
+package affinity
+
+import "repro/internal/telemetry"
+
+// TableProbes are optional telemetry counters mirroring an affinity
+// table's hit/miss/eviction accounting. The zero value is inert (every
+// handle is a no-op), so tables work unchanged without instrumentation;
+// the machine wires real counters in when it owns a telemetry registry.
+//
+// Probes are observational only: they are not part of a table's
+// serialisable state (the registry owning the counters snapshots their
+// values), and state capture/restore goes through non-counting internal
+// lookups so checkpointing never perturbs them.
+type TableProbes struct {
+	Hits, Misses, Evictions telemetry.Counter
+}

@@ -132,7 +132,7 @@ func (u *Unbounded) SetState(st UnboundedState) error {
 	}
 	u.reset(len(st.Entries))
 	for _, e := range st.Entries {
-		if _, dup := u.Lookup(e.Line); dup {
+		if _, dup := u.find(e.Line); dup {
 			return fmt.Errorf("affinity: state holds line %d twice", e.Line)
 		}
 		// Store re-establishes both the hash table and (when limited)

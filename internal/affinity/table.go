@@ -47,6 +47,13 @@ type Unbounded struct {
 
 	// Dropped counts entries evicted to stay under the limit.
 	Dropped uint64
+
+	// Probes mirror hit/miss/eviction accounting into an optional
+	// telemetry registry (the zero value is a no-op). State capture and
+	// restore go through the non-counting find, so checkpointing never
+	// perturbs them.
+	//emlint:nosnapshot observational handles; counter values live in the owning telemetry registry
+	Probes TableProbes
 }
 
 // NewUnbounded returns an empty unlimited table.
@@ -81,6 +88,19 @@ func (u *Unbounded) homeSlot(line mem.Line) uint64 {
 //
 //emlint:hotpath
 func (u *Unbounded) Lookup(line mem.Line) (int64, bool) {
+	oe, ok := u.find(line)
+	if ok {
+		u.Probes.Hits.Inc()
+	} else {
+		u.Probes.Misses.Inc()
+	}
+	return oe, ok
+}
+
+// find is Lookup without probe accounting, for internal use on paths
+// (state capture, restore-time duplicate checks) that must not perturb
+// telemetry.
+func (u *Unbounded) find(line mem.Line) (int64, bool) {
 	if u.n == 0 {
 		return 0, false
 	}
@@ -166,6 +186,7 @@ func (u *Unbounded) evictOldest() {
 	u.fcount--
 	u.delete(victim)
 	u.Dropped++
+	u.Probes.Evictions.Inc()
 }
 
 // delete removes line from the slot arrays with backward-shift
@@ -252,7 +273,7 @@ func (u *Unbounded) entriesInOrder() []TableEntry {
 	out := make([]TableEntry, 0, u.fcount)
 	for k := 0; k < u.fcount; k++ {
 		line := u.fifo[(u.fhead+k)%len(u.fifo)]
-		oe, _ := u.Lookup(line)
+		oe, _ := u.find(line)
 		out = append(out, TableEntry{Line: line, Oe: oe})
 	}
 	return out

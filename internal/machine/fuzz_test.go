@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// goldenCheckpointBytes builds a corpus of real EMCKPT1 files: both
+// machine configurations driven partway through a synthetic splittable
+// stream, snapshotted and serialised exactly as emsim would. The
+// fuzzer starts from structurally valid checkpoints and mutates from
+// there.
+func goldenCheckpointBytes(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, cores := range []int{2, 4} {
+		normal, err := New(NormalConfig())
+		if err != nil {
+			f.Fatal(err)
+		}
+		mig, err := New(MigrationConfigN(cores))
+		if err != nil {
+			f.Fatal(err)
+		}
+		evs := captureSynthetic(4<<10, 30_000)
+		for _, e := range evs {
+			for _, m := range []*Machine{normal, mig} {
+				if e.isInstr {
+					m.Instr(e.instr)
+				} else {
+					m.Access(e.addr, e.kind)
+				}
+			}
+		}
+		ns, err := normal.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		ms, err := mig.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		ck := &Checkpoint{
+			Workload: "synthetic",
+			Instr:    100_000,
+			Cores:    cores,
+			Events:   uint64(len(evs)),
+			Machines: []NamedSnapshot{{Name: "normal", Snap: ns}, {Name: "migration", Snap: ms}},
+		}
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, ck); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+
+	// Degenerate inputs: truncations, a flipped payload byte, bad magic.
+	full := seeds[0]
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	seeds = append(seeds,
+		full[:len(full)/2],
+		full[:len(checkpointMagic)],
+		flipped,
+		[]byte("EMCKPT1\n"),
+		[]byte("NOTACKPT"),
+		[]byte{},
+	)
+	return seeds
+}
+
+// restoreTarget builds a machine shaped like the snapshot claims to be,
+// or reports that no such machine is constructible (also a clean
+// outcome for hostile input).
+func restoreTarget(snap *Snapshot) (*Machine, bool) {
+	if snap.Controller == nil {
+		m, err := New(NormalConfig())
+		return m, err == nil
+	}
+	cfg, err := MigrationConfigFor(snap.Cores)
+	if err != nil {
+		return nil, false
+	}
+	m, err := New(cfg)
+	return m, err == nil
+}
+
+// checkpointRestoreOracle is the shared fuzz body: arbitrary bytes
+// through ReadCheckpoint must either fail cleanly or yield a checkpoint
+// that (a) survives a write/re-read round trip bit-identically and
+// (b) restores into a fresh machine either cleanly or with a proper
+// error — never a panic, never a corrupted success.
+func checkpointRestoreOracle(t *testing.T, data []byte) {
+	ck, err := ReadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		return // rejected inputs just need to be rejected cleanly
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatalf("re-encoding an accepted checkpoint failed: %v", err)
+	}
+	ck2, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading a rewritten checkpoint failed: %v", err)
+	}
+	if !reflect.DeepEqual(ck, ck2) {
+		t.Fatalf("checkpoint changed across write/read round trip:\n%+v\nvs\n%+v", ck, ck2)
+	}
+	for i := range ck.Machines {
+		snap := &ck.Machines[i].Snap
+		m, ok := restoreTarget(snap)
+		if !ok {
+			continue
+		}
+		if err := m.Restore(*snap); err != nil {
+			continue // shape mismatch detected and reported: clean outcome
+		}
+		// A restore that claims success must have installed the
+		// snapshot's observable state.
+		if m.Stats != snap.Stats {
+			t.Fatalf("restore succeeded but stats differ: %+v vs %+v", m.Stats, snap.Stats)
+		}
+	}
+}
+
+// FuzzCheckpointRestore fuzzes the EMCKPT1 deserialise → restore path
+// with golden checkpoints as the seed corpus.
+func FuzzCheckpointRestore(f *testing.F) {
+	for _, s := range goldenCheckpointBytes(f) {
+		f.Add(s)
+	}
+	f.Fuzz(checkpointRestoreOracle)
+}
+
+// TestFuzzCheckpointCorpusSmoke runs the fuzz oracle over a golden
+// corpus in a plain test, so `go test` exercises the path even without
+// -fuzz.
+func TestFuzzCheckpointCorpusSmoke(t *testing.T) {
+	for i, s := range goldenCheckpointSeedsForTest(t) {
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			checkpointRestoreOracle(t, s)
+		})
+	}
+}
+
+// goldenCheckpointSeedsForTest rebuilds the golden corpus under a
+// *testing.T (the builder wants testing.F for f.Helper/f.Fatal).
+func goldenCheckpointSeedsForTest(t *testing.T) [][]byte {
+	t.Helper()
+	normal, err := New(NormalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := captureSynthetic(4<<10, 20_000)
+	deliver(t, evs, normal)
+	ns, err := normal.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Workload: "synthetic", Instr: 50_000, Cores: 1, Events: uint64(len(evs)),
+		Machines: []NamedSnapshot{{Name: "normal", Snap: ns}}}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	return [][]byte{full, full[:len(full)/2], flipped, []byte("EMCKPT1\n"), {}}
+}

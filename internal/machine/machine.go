@@ -14,10 +14,12 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/affinity"
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/migration"
 	"repro/internal/prefetch"
+	"repro/internal/telemetry"
 )
 
 // Config describes a machine.
@@ -189,6 +191,42 @@ func (s Stats) Outcome() migration.Outcome {
 	}
 }
 
+// Metric names registered by every Machine. The first group mirrors
+// the headline Stats fields; the controller group exists only in
+// migration mode. Keeping the names exported lets front ends and tests
+// address timeline/snapshot entries without string literals.
+const (
+	MetricInstructions = "instructions"
+	MetricRefs         = "refs"
+	MetricIL1Misses    = "il1_misses"
+	MetricDL1Misses    = "dl1_misses"
+	MetricL2Hits       = "l2_hits"
+	MetricL2Misses     = "l2_misses"
+	MetricMigrations   = "migrations"
+
+	MetricCtrlRequests      = "ctrl_requests"
+	MetricCtrlFilterUpdates = "ctrl_filter_updates"
+	MetricAffinityHits      = "affinity_hits"
+	MetricAffinityMisses    = "affinity_misses"
+	MetricAffinityEvictions = "affinity_evictions"
+	// MetricMigrationGap is a histogram: per migration, the number of
+	// L1-miss requests since the previous migration (bucket i>0 holds
+	// gaps in [2^(i-1), 2^i)).
+	MetricMigrationGap = "migration_gap"
+)
+
+// probes are the machine's own telemetry handles, mirroring the subset
+// of Stats the timeline tracks per interval.
+type probes struct {
+	instructions telemetry.Counter
+	refs         telemetry.Counter
+	il1Misses    telemetry.Counter
+	dl1Misses    telemetry.Counter
+	l2Hits       telemetry.Counter
+	l2Misses     telemetry.Counter
+	migrations   telemetry.Counter
+}
+
 // Machine is the simulated multi-core. It implements mem.Sink.
 type Machine struct {
 	cfg  Config
@@ -198,6 +236,10 @@ type Machine struct {
 	l3   *cache.SetAssoc // nil = infinite L3 (the paper's assumption)
 	pf   *prefetch.Prefetcher
 	ctrl *migration.Controller
+
+	tel *telemetry.Registry
+	//emlint:nosnapshot observational handles into tel; values restore through Snapshot.Telemetry
+	probes probes
 
 	active int
 	Stats  Stats
@@ -259,6 +301,28 @@ func New(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("machine: %d cores but a %d-way migration controller", cfg.Cores, w)
 		}
 	}
+	m.tel = telemetry.NewRegistry()
+	m.probes = probes{
+		instructions: m.tel.MustCounter(MetricInstructions),
+		refs:         m.tel.MustCounter(MetricRefs),
+		il1Misses:    m.tel.MustCounter(MetricIL1Misses),
+		dl1Misses:    m.tel.MustCounter(MetricDL1Misses),
+		l2Hits:       m.tel.MustCounter(MetricL2Hits),
+		l2Misses:     m.tel.MustCounter(MetricL2Misses),
+		migrations:   m.tel.MustCounter(MetricMigrations),
+	}
+	if m.ctrl != nil {
+		m.ctrl.SetProbes(migration.Probes{
+			Requests:      m.tel.MustCounter(MetricCtrlRequests),
+			L2MissUpdates: m.tel.MustCounter(MetricCtrlFilterUpdates),
+			MigrationGap:  m.tel.MustHistogram(MetricMigrationGap),
+			Table: affinity.TableProbes{
+				Hits:      m.tel.MustCounter(MetricAffinityHits),
+				Misses:    m.tel.MustCounter(MetricAffinityMisses),
+				Evictions: m.tel.MustCounter(MetricAffinityEvictions),
+			},
+		})
+	}
 	return m, nil
 }
 
@@ -287,6 +351,11 @@ func (m *Machine) FinalStats() Stats {
 // Controller returns the migration controller (nil in normal mode).
 func (m *Machine) Controller() *migration.Controller { return m.ctrl }
 
+// Telemetry returns the machine's metric registry. The registry is
+// single-goroutine like the machine itself; cross-goroutine consumers
+// take Snapshot copies.
+func (m *Machine) Telemetry() *telemetry.Registry { return m.tel }
+
 // RegisterSpillBytes is the §6 register-update-cache spill: the
 // architectural register file (64 × 8 B values + identifiers).
 const RegisterSpillBytes = 64*8 + 64
@@ -296,6 +365,7 @@ const RegisterSpillBytes = 64*8 + 64
 //emlint:hotpath
 func (m *Machine) Instr(n uint64) {
 	m.Stats.Instructions += n
+	m.probes.instructions.Add(n)
 	if m.cfg.Migration == nil {
 		return
 	}
@@ -313,6 +383,7 @@ func (m *Machine) Instr(n uint64) {
 //emlint:hotpath
 func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 	line := mem.LineOf(addr, m.cfg.LineShift)
+	m.probes.refs.Inc()
 	switch kind {
 	case mem.IFetch:
 		m.Stats.IFetches++
@@ -320,6 +391,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 			return
 		}
 		m.Stats.IL1Misses++
+		m.probes.il1Misses.Inc()
 		m.request(line, false, false)
 		m.fillL1(m.il1, line)
 	case mem.Load, mem.PtrLoad:
@@ -328,6 +400,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 			return
 		}
 		m.Stats.DL1Misses++
+		m.probes.dl1Misses.Inc()
 		m.request(line, false, kind == mem.PtrLoad)
 		m.fillL1(m.dl1, line)
 	case mem.Store:
@@ -344,6 +417,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 		// DL1 miss: non-write-allocate — no DL1 fill, but the store is
 		// an L1-miss request serviced by the L2.
 		m.Stats.DL1Misses++
+		m.probes.dl1Misses.Inc()
 		m.request(line, true, false)
 	}
 }
@@ -379,12 +453,14 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 			// Only possible with NoL2Filtering (ablation): the filter
 			// moved on the request itself.
 			m.Stats.Migrations++
+			m.probes.migrations.Inc()
 			m.active = core
 			m.spillRegisters()
 		}
 	}
 	if h, ok := m.l2[m.active].Access(line); ok {
 		m.Stats.L2Hits++
+		m.probes.l2Hits.Inc()
 		m.notePrefetchHit(h)
 		if isStore {
 			m.markModified(h, line)
@@ -397,12 +473,14 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 	if m.ctrl != nil {
 		if core, migrated := m.ctrl.OnL2Miss(isPtrLoad); migrated {
 			m.Stats.Migrations++
+			m.probes.migrations.Inc()
 			m.active = core
 			m.spillRegisters()
 			if h, ok := m.l2[m.active].Access(line); ok {
 				// The new active L2 holds the line: serviced locally
 				// after the migration, no L3 access.
 				m.Stats.L2Hits++
+				m.probes.l2Hits.Inc()
 				m.Stats.L2HitsAfterMigration++
 				m.notePrefetchHit(h)
 				if isStore {
@@ -413,6 +491,7 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 		}
 	}
 	m.Stats.L2Misses++
+	m.probes.l2Misses.Inc()
 	m.fetch(line, isStore)
 	m.prefetchAfterMiss(line)
 }
@@ -458,6 +537,7 @@ func (m *Machine) storeThrough(line mem.Line) {
 	}
 	if m.cfg.CountWriteThroughL2Misses {
 		m.Stats.L2Misses++
+		m.probes.l2Misses.Inc()
 	} else {
 		m.Stats.WriteThroughL2Misses++
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/migration"
 	"repro/internal/prefetch"
+	"repro/internal/telemetry"
 )
 
 // Snapshot is the complete serialisable state of a Machine: every cache,
@@ -26,16 +27,26 @@ type Snapshot struct {
 	Controller *migration.ControllerState
 
 	Stats Stats
+
+	// Telemetry carries the metric registry's values. Checkpoints
+	// written before telemetry existed decode it as the zero Snapshot,
+	// which restores every metric to zero (well-defined, see
+	// telemetry.Registry.SetState).
+	Telemetry telemetry.Snapshot
 }
 
-// Snapshot captures the machine's current state.
+// Snapshot captures the machine's current state. Telemetry is captured
+// first: the controller's state capture walks the affinity table
+// through non-counting paths, but ordering the metric copy ahead of
+// everything else makes "capture never perturbs metrics" structural.
 func (m *Machine) Snapshot() (Snapshot, error) {
 	s := Snapshot{
-		Cores:  m.cfg.Cores,
-		Active: m.active,
-		IL1:    m.il1.State(),
-		DL1:    m.dl1.State(),
-		Stats:  m.Stats,
+		Cores:     m.cfg.Cores,
+		Active:    m.active,
+		IL1:       m.il1.State(),
+		DL1:       m.dl1.State(),
+		Stats:     m.Stats,
+		Telemetry: m.tel.Snapshot(),
 	}
 	for _, l2 := range m.l2 {
 		s.L2 = append(s.L2, l2.State())
@@ -107,6 +118,11 @@ func (m *Machine) Restore(s Snapshot) error {
 		if err := m.ctrl.SetState(*s.Controller); err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
+	}
+	// Last, so metric values overwrite anything restore-time table
+	// rebuilding might have counted.
+	if err := m.tel.SetState(s.Telemetry); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	m.active = s.Active
 	m.Stats = s.Stats

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/affinity"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises the controller.
@@ -125,6 +126,40 @@ type Controller struct {
 	// L2MissUpdates counts transition-filter updates (= L2 misses seen,
 	// minus those skipped by pointer-load filtering).
 	L2MissUpdates uint64
+
+	// lastMigRequests is the Requests value at the most recent migration,
+	// the reference point of the migration-gap histogram.
+	lastMigRequests uint64
+
+	// probes mirror the counters into an optional telemetry registry
+	// (the zero value is a no-op).
+	//emlint:nosnapshot observational handles; counter values live in the owning telemetry registry
+	probes Probes
+}
+
+// Probes are the controller's optional telemetry hooks. MigrationGap
+// observes, at each migration, how many L1-miss requests elapsed since
+// the previous one — the controller's effective migration tempo, which
+// the affinity machinery is supposed to keep far above the break-even
+// point (§2.4).
+type Probes struct {
+	Requests      telemetry.Counter
+	L2MissUpdates telemetry.Counter
+	MigrationGap  telemetry.Histogram
+	// Table is forwarded to the affinity table (bounded or unbounded).
+	Table affinity.TableProbes
+}
+
+// SetProbes wires telemetry counters into the controller and its
+// affinity table. Call once, before driving references.
+func (c *Controller) SetProbes(p Probes) {
+	c.probes = p
+	switch t := c.table.(type) {
+	case *affinity.Cache:
+		t.Probes = p.Table
+	case *affinity.Unbounded:
+		t.Probes = p.Table
+	}
 }
 
 // NewController builds a controller. Configuration problems — an
@@ -249,11 +284,12 @@ func (c *Controller) Active() int { return c.active }
 // every request and a migration may trigger immediately.
 func (c *Controller) OnRequest(line mem.Line) (core int, migrated bool) {
 	c.Requests++
+	c.probes.Requests.Inc()
 	if c.noFiltering {
 		sub := c.split.Ref(line, true)
 		if sub != c.active {
 			c.active = sub
-			c.Migrations++
+			c.noteMigration()
 			return sub, true
 		}
 		return sub, false
@@ -273,13 +309,22 @@ func (c *Controller) OnL2Miss(isPointerLoad bool) (core int, migrated bool) {
 		return c.active, false
 	}
 	c.L2MissUpdates++
+	c.probes.L2MissUpdates.Inc()
 	sub := c.split.CommitLastFilter()
 	if sub != c.active {
 		c.active = sub
-		c.Migrations++
+		c.noteMigration()
 		return sub, true
 	}
 	return sub, false
+}
+
+// noteMigration accounts one executed migration: the counter, and the
+// gap (in L1-miss requests) since the previous migration.
+func (c *Controller) noteMigration() {
+	c.Migrations++
+	c.probes.MigrationGap.Observe(c.Requests - c.lastMigRequests)
+	c.lastMigRequests = c.Requests
 }
 
 // NearMigration reports whether any deciding transition filter is
@@ -320,6 +365,10 @@ type ControllerState struct {
 	Active int
 
 	Migrations, Requests, L2MissUpdates uint64
+	// LastMigRequests preserves the migration-gap reference point.
+	// Checkpoints written before it existed decode it as zero, which
+	// only widens the first post-resume gap observation.
+	LastMigRequests uint64
 }
 
 // State returns a deep copy of the controller's state.
@@ -329,12 +378,13 @@ func (c *Controller) State() (ControllerState, error) {
 		return ControllerState{}, err
 	}
 	return ControllerState{
-		Split:         c.split.State(),
-		Table:         ts,
-		Active:        c.active,
-		Migrations:    c.Migrations,
-		Requests:      c.Requests,
-		L2MissUpdates: c.L2MissUpdates,
+		Split:           c.split.State(),
+		Table:           ts,
+		Active:          c.active,
+		Migrations:      c.Migrations,
+		Requests:        c.Requests,
+		L2MissUpdates:   c.L2MissUpdates,
+		LastMigRequests: c.lastMigRequests,
 	}, nil
 }
 
@@ -354,5 +404,6 @@ func (c *Controller) SetState(st ControllerState) error {
 	c.Migrations = st.Migrations
 	c.Requests = st.Requests
 	c.L2MissUpdates = st.L2MissUpdates
+	c.lastMigRequests = st.LastMigRequests
 	return nil
 }

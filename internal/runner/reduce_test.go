@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestReduceFoldsInInputOrder: the fold must see results in job order
+// for every worker count, so order-sensitive accumulators (string
+// concatenation here) come out identical.
+func TestReduceFoldsInInputOrder(t *testing.T) {
+	const n = 20
+	want := ""
+	for i := 0; i < n; i++ {
+		want += fmt.Sprintf("%d;", i*i)
+	}
+	for _, workers := range []int{1, 2, 7, n} {
+		got, err := Reduce(context.Background(), n, Config{Workers: workers}, "",
+			func(_ context.Context, i int) (int, error) { return i * i, nil },
+			func(acc string, r, i int) string { return acc + fmt.Sprintf("%d;", r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d fold order broke: %q != %q", workers, got, want)
+		}
+	}
+}
+
+// TestReduceFoldIndex: the fold receives each result's job index.
+func TestReduceFoldIndex(t *testing.T) {
+	sum, err := Reduce(context.Background(), 5, Config{Workers: 3}, 0,
+		func(_ context.Context, i int) (int, error) { return 10 * i, nil },
+		func(acc, r, i int) int {
+			if r != 10*i {
+				t.Errorf("fold got result %d at index %d", r, i)
+			}
+			return acc + r + i
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 110 {
+		t.Fatalf("sum = %d, want 110", sum)
+	}
+}
+
+// TestReduceError: a failing job surfaces as a JobError and the fold
+// never runs.
+func TestReduceError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Reduce(context.Background(), 4, Config{Workers: 2}, 0,
+		func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(acc, r, i int) int {
+			t.Error("fold ran despite job failure")
+			return acc
+		})
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 2 || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

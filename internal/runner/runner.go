@@ -144,6 +144,25 @@ feed:
 	return results, nil
 }
 
+// Reduce is Map followed by an input-order fold: fn runs on the worker
+// pool, then fold consumes the results in job order — job 0 first,
+// regardless of completion order — so any accumulator (sums, merged
+// metric snapshots, concatenated rows) is identical for every worker
+// count. The fold runs on the calling goroutine after all jobs finish.
+func Reduce[T, A any](ctx context.Context, n int, cfg Config, init A,
+	fn func(ctx context.Context, i int) (T, error), fold func(acc A, r T, i int) A) (A, error) {
+	results, err := Map(ctx, n, cfg, fn)
+	if err != nil {
+		var zero A
+		return zero, err
+	}
+	acc := init
+	for i, r := range results {
+		acc = fold(acc, r, i)
+	}
+	return acc, nil
+}
+
 // Run executes a fixed set of heterogeneous jobs on the pool and waits
 // for all of them. It is Map with per-index functions and no results —
 // the shape of "run the baseline machine and the migration machine at

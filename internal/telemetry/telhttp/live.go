@@ -1,0 +1,80 @@
+// Package telhttp serves live simulation metrics over HTTP (the
+// expvar-style `emsim -metrics :8080` endpoint) without ever letting an
+// HTTP goroutine read simulator state directly.
+//
+// The simulator's registries are single-goroutine by design (see
+// package telemetry); a handler reading counter slots while a pass
+// writes them would be a data race. Live therefore works on published
+// copies: the simulation publishes a Snapshot per machine at interval
+// boundaries (a cold path), and handlers serve the last published
+// values under a mutex. The hot path never takes a lock.
+package telhttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Live holds the last published snapshot per machine and implements
+// http.Handler. The zero value is not usable; call NewLive.
+type Live struct {
+	mu    sync.Mutex
+	snaps map[string]telemetry.Snapshot
+}
+
+// NewLive returns an empty publisher.
+func NewLive() *Live {
+	return &Live{snaps: make(map[string]telemetry.Snapshot)}
+}
+
+// Publish replaces the named machine's visible metrics. Snapshots are
+// value copies, so the caller may keep mutating its registry.
+func (l *Live) Publish(name string, s telemetry.Snapshot) {
+	l.mu.Lock()
+	l.snaps[name] = s
+	l.mu.Unlock()
+}
+
+// Snapshot returns the last published snapshot for name.
+func (l *Live) Snapshot(name string) (telemetry.Snapshot, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.snaps[name]
+	return s, ok
+}
+
+// machineMetrics is the JSON shape served per machine. Maps marshal
+// with sorted keys, so responses are deterministic for given values.
+type machineMetrics struct {
+	Counters map[string]uint64   `json:"counters"`
+	Hists    map[string][]uint64 `json:"hists,omitempty"`
+}
+
+// ServeHTTP serves every machine's last published metrics as one JSON
+// object keyed by machine name, on any path.
+func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	out := make(map[string]machineMetrics, len(l.snaps))
+	for name, s := range l.snaps {
+		mm := machineMetrics{Counters: make(map[string]uint64, len(s.Counters))}
+		for _, cv := range s.Counters {
+			mm.Counters[cv.Name] = cv.Value
+		}
+		if len(s.Hists) > 0 {
+			mm.Hists = make(map[string][]uint64, len(s.Hists))
+			for _, hv := range s.Hists {
+				mm.Hists[hv.Name] = hv.Buckets
+			}
+		}
+		out[name] = mm
+	}
+	l.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // a broken client connection is not actionable
+}

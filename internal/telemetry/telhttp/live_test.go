@@ -1,0 +1,90 @@
+package telhttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestLiveServesPublishedSnapshots(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.MustCounter("l2_misses")
+	h := reg.MustHistogram("gap")
+	c.Add(42)
+	h.Observe(3)
+
+	live := NewLive()
+	live.Publish("migration", reg.Snapshot())
+
+	rec := httptest.NewRecorder()
+	live.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var got map[string]struct {
+		Counters map[string]uint64   `json:"counters"`
+		Hists    map[string][]uint64 `json:"hists"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, rec.Body.String())
+	}
+	m, ok := got["migration"]
+	if !ok {
+		t.Fatalf("no migration machine in %v", got)
+	}
+	if m.Counters["l2_misses"] != 42 {
+		t.Fatalf("l2_misses = %d", m.Counters["l2_misses"])
+	}
+	if len(m.Hists["gap"]) != 3 || m.Hists["gap"][2] != 1 {
+		t.Fatalf("gap buckets = %v", m.Hists["gap"])
+	}
+}
+
+// TestLiveSnapshotIsolation: published snapshots are copies — later
+// registry mutation must not leak into what the handler serves.
+func TestLiveSnapshotIsolation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.MustCounter("n")
+	c.Add(1)
+	live := NewLive()
+	live.Publish("m", reg.Snapshot())
+	c.Add(99)
+	s, ok := live.Snapshot("m")
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if v, _ := s.Counter("n"); v != 1 {
+		t.Fatalf("published snapshot mutated: n = %d, want 1", v)
+	}
+	if _, ok := live.Snapshot("other"); ok {
+		t.Fatal("phantom machine")
+	}
+}
+
+// TestLiveConcurrentPublishAndServe: Publish and ServeHTTP race-freely
+// (run under -race in CI).
+func TestLiveConcurrentPublishAndServe(t *testing.T) {
+	live := NewLive()
+	reg := telemetry.NewRegistry()
+	c := reg.MustCounter("n")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Inc()
+			live.Publish("m", reg.Snapshot())
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			rec := httptest.NewRecorder()
+			live.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Timeline samples every metric of a registry at a fixed event interval
+// into a preallocated ring of samples. The sampler is driven from the
+// simulation's event sink (one MaybeSample call per event); the off-
+// boundary cost is a single modulo-and-compare, and an on-boundary
+// sample copies values into a preallocated slot without allocating —
+// until the ring is full, at which point it doubles (an amortised cold
+// path, like every growth path in the simulator).
+//
+// A Timeline belongs to the goroutine driving its registry. Parallel
+// passes each own a timeline; their rows merge deterministically with
+// MergeRows.
+type Timeline struct {
+	reg      *Registry
+	interval uint64
+
+	names     []string // counter set frozen at creation
+	histNames []string
+
+	samples []Sample
+	n       int
+}
+
+// Sample is one timeline point: the cumulative metric values after
+// `Events` sink events. Counters and Hists are parallel to the
+// timeline's frozen name sets.
+type Sample struct {
+	Events   uint64
+	Counters []uint64
+	Hists    [][]uint64
+}
+
+// NewTimeline builds a timeline over reg sampling every interval
+// events, with room for capacity samples before the ring grows. The
+// metric set is frozen at creation: counters registered later are not
+// sampled. interval must be positive and capacity at least 1.
+func NewTimeline(reg *Registry, interval uint64, capacity int) (*Timeline, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("telemetry: timeline interval must be positive")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Timeline{
+		reg:       reg,
+		interval:  interval,
+		names:     reg.CounterNames(),
+		histNames: reg.HistogramNames(),
+	}
+	t.samples = make([]Sample, capacity)
+	for i := range t.samples {
+		t.preallocate(&t.samples[i])
+	}
+	return t, nil
+}
+
+// preallocate sizes one ring slot for the frozen metric set.
+func (t *Timeline) preallocate(s *Sample) {
+	s.Counters = make([]uint64, len(t.names))
+	s.Hists = make([][]uint64, len(t.histNames))
+	for i := range s.Hists {
+		s.Hists[i] = make([]uint64, HistBuckets)
+	}
+}
+
+// Interval returns the sampling interval in events.
+func (t *Timeline) Interval() uint64 { return t.interval }
+
+// MaybeSample records a sample when events is a multiple of the
+// interval. It is called once per sink event; the common case returns
+// after one compare.
+func (t *Timeline) MaybeSample(events uint64) {
+	if events == 0 || events%t.interval != 0 {
+		return
+	}
+	if t.n == len(t.samples) {
+		// Ring full: double (cold, amortised over interval events).
+		grown := make([]Sample, 2*len(t.samples))
+		copy(grown, t.samples)
+		for i := len(t.samples); i < len(grown); i++ {
+			t.preallocate(&grown[i])
+		}
+		t.samples = grown
+	}
+	s := &t.samples[t.n]
+	s.Events = events
+	for i := range t.names {
+		s.Counters[i] = t.reg.slots[i]
+	}
+	for i := range t.histNames {
+		copy(s.Hists[i], t.reg.hists[i][:])
+	}
+	t.n++
+}
+
+// Len returns the number of samples recorded.
+func (t *Timeline) Len() int { return t.n }
+
+// Row is the JSONL form of one sample of one machine's timeline.
+// encoding/json sorts map keys, so a row marshals to identical bytes
+// for identical metric values regardless of construction order.
+type Row struct {
+	Machine  string              `json:"machine"`
+	Interval int                 `json:"interval"`
+	Events   uint64              `json:"events"`
+	Counters map[string]uint64   `json:"counters"`
+	Hists    map[string][]uint64 `json:"hists,omitempty"`
+}
+
+// Rows converts the recorded samples into JSONL rows labelled with the
+// machine name. Interval numbers samples from 0 in recording order.
+// Histogram buckets are trimmed of trailing zeros; all-zero histograms
+// are omitted.
+func (t *Timeline) Rows(machine string) []Row {
+	rows := make([]Row, t.n)
+	for i := 0; i < t.n; i++ {
+		s := &t.samples[i]
+		counters := make(map[string]uint64, len(t.names))
+		for j, n := range t.names {
+			counters[n] = s.Counters[j]
+		}
+		var hists map[string][]uint64
+		for j, n := range t.histNames {
+			trimmed := trimTrailingZeros(s.Hists[j])
+			if len(trimmed) == 0 {
+				continue
+			}
+			if hists == nil {
+				hists = make(map[string][]uint64, len(t.histNames))
+			}
+			hists[n] = trimmed
+		}
+		rows[i] = Row{
+			Machine:  machine,
+			Interval: i,
+			Events:   s.Events,
+			Counters: counters,
+			Hists:    hists,
+		}
+	}
+	return rows
+}
+
+// MergeRows interleaves several machines' row sets into one
+// deterministic stream: ascending interval, and within an interval the
+// order the row sets were passed in. This is the order the serial tee
+// pass produces naturally, so parallel passes merged this way are
+// byte-identical to a serial run.
+func MergeRows(rowsets ...[]Row) []Row {
+	maxLen := 0
+	total := 0
+	for _, rs := range rowsets {
+		if len(rs) > maxLen {
+			maxLen = len(rs)
+		}
+		total += len(rs)
+	}
+	out := make([]Row, 0, total)
+	for i := 0; i < maxLen; i++ {
+		for _, rs := range rowsets {
+			if i < len(rs) {
+				out = append(out, rs[i])
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line for each row.
+func WriteJSONL(w io.Writer, rows []Row) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return fmt.Errorf("telemetry: encoding timeline row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

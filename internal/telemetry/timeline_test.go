@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimelineSamplesAtIntervals(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("refs")
+	tl, err := NewTimeline(r, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := uint64(1); ev <= 35; ev++ {
+		c.Inc()
+		tl.MaybeSample(ev)
+	}
+	if tl.Len() != 3 {
+		t.Fatalf("samples = %d, want 3 (at events 10, 20, 30)", tl.Len())
+	}
+	rows := tl.Rows("m")
+	for i, wantEv := range []uint64{10, 20, 30} {
+		if rows[i].Events != wantEv || rows[i].Interval != i {
+			t.Fatalf("row %d = %+v, want events %d", i, rows[i], wantEv)
+		}
+		if rows[i].Counters["refs"] != wantEv {
+			t.Fatalf("row %d refs = %d, want %d", i, rows[i].Counters["refs"], wantEv)
+		}
+		if rows[i].Machine != "m" {
+			t.Fatalf("row %d machine = %q", i, rows[i].Machine)
+		}
+	}
+}
+
+// TestTimelineRingGrowth: exceeding the preallocated capacity must keep
+// earlier samples intact.
+func TestTimelineRingGrowth(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("n")
+	tl, err := NewTimeline(r, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := uint64(1); ev <= 100; ev++ {
+		c.Inc()
+		tl.MaybeSample(ev)
+	}
+	if tl.Len() != 100 {
+		t.Fatalf("samples = %d, want 100", tl.Len())
+	}
+	rows := tl.Rows("m")
+	for i, row := range rows {
+		if row.Counters["n"] != uint64(i+1) {
+			t.Fatalf("row %d n = %d, want %d", i, row.Counters["n"], i+1)
+		}
+	}
+}
+
+func TestTimelineRejectsZeroInterval(t *testing.T) {
+	if _, err := NewTimeline(NewRegistry(), 0, 1); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+}
+
+// TestTimelineSamplingIsAllocationFree: within the preallocated ring,
+// MaybeSample must not allocate — it runs on the simulation's event
+// path.
+func TestTimelineSamplingIsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("refs")
+	h := r.MustHistogram("gap")
+	tl, err := NewTimeline(r, 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		ev++
+		c.Inc()
+		h.Observe(ev)
+		tl.MaybeSample(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per sampled event; the timeline ring must be preallocated", allocs)
+	}
+}
+
+func TestMergeRowsInterleavesDeterministically(t *testing.T) {
+	mk := func(machine string, n int) []Row {
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{Machine: machine, Interval: i, Events: uint64((i + 1) * 10)}
+		}
+		return rows
+	}
+	merged := MergeRows(mk("normal", 3), mk("migration", 2))
+	var got []string
+	for _, r := range merged {
+		got = append(got, r.Machine)
+	}
+	want := "normal migration normal migration normal"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("merge order = %v, want %q", got, want)
+	}
+}
+
+func TestWriteJSONLFormat(t *testing.T) {
+	rows := []Row{
+		{Machine: "normal", Interval: 0, Events: 10, Counters: map[string]uint64{"b": 2, "a": 1}},
+		{Machine: "migration", Interval: 0, Events: 10, Counters: map[string]uint64{"a": 3},
+			Hists: map[string][]uint64{"h": {0, 1}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"machine":"normal","interval":0,"events":10,"counters":{"a":1,"b":2}}
+{"machine":"migration","interval":0,"events":10,"counters":{"a":3},"hists":{"h":[0,1]}}
+`
+	if buf.String() != want {
+		t.Fatalf("JSONL:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
