@@ -13,24 +13,31 @@
 //	emsim -resume run.ckpt               # continue an interrupted run
 //	emsim -j 2                           # run the two machines concurrently
 //	emsim -cpuprofile cpu.pprof -memprofile mem.pprof
+//	emsim -json                          # machine-readable result (same bytes as emsimd /run)
 //	emsim -list
 //
-// A SIGINT (ctrl-C) mid-run stops the simulation at the next event,
-// writes a final checkpoint when -checkpoint is set, and prints the
-// partial report; a second SIGINT kills the process immediately.
+// A SIGINT (ctrl-C) or SIGTERM mid-run stops the simulation at the next
+// event, writes a final checkpoint when -checkpoint is set, and prints
+// the partial report; a second signal kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/migration"
+	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry/telhttp"
 	"repro/internal/trace"
 	"repro/internal/workloads/suite"
 )
@@ -52,6 +59,7 @@ func main() {
 		timeline  = flag.String("timeline", "", "write per-interval metric samples of both machines as JSONL to this file (\"-\" = stdout)")
 		interval  = flag.Uint64("interval", 1_000_000, "events between timeline/metrics samples")
 		metrics   = flag.String("metrics", "", "serve live metrics as JSON on this address (e.g. :8080) for the duration of the run")
+		jsonOut   = flag.Bool("json", false, "print the machine-readable result JSON instead of the human report")
 	)
 	flag.Parse()
 
@@ -133,11 +141,13 @@ func main() {
 		fail(err)
 	}
 
+	var live *telhttp.Live
 	if *metrics != "" {
-		live, addr, err := serveMetrics(*metrics)
+		l, addr, err := serveMetrics(*metrics)
 		if err != nil {
 			fail(err)
 		}
+		live = l
 		p.live = live
 		fmt.Fprintf(os.Stderr, "emsim: serving metrics on http://%s/\n", addr)
 	}
@@ -152,14 +162,57 @@ func main() {
 			fail(err)
 		}
 	}
-	report(p, res)
-	// os.Exit skips deferred calls, so the profiles are flushed
-	// explicitly before any exit path below.
+	if *jsonOut {
+		if err := writeRunJSON(os.Stdout, p, res); err != nil {
+			fail(err)
+		}
+	} else {
+		printReport(p, res)
+	}
+	// os.Exit skips deferred calls, so the profiles are flushed and the
+	// metrics listener closed explicitly before any exit path below.
 	if err := stopProfiles(); err != nil {
 		fail(err)
 	}
+	if live != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := live.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emsim: closing metrics endpoint: %v\n", err)
+		}
+	}
 	if res.Interrupted {
-		os.Exit(130) // conventional exit code for SIGINT-terminated work
+		os.Exit(130) // conventional exit code for signal-terminated work
+	}
+}
+
+// writeRunJSON prints the machine-readable result: the same encoder and
+// shape the emsimd service serves, which is what makes `emsim -json`
+// output byte-comparable with a /run response for the same parameters.
+func writeRunJSON(w io.Writer, p runParams, res *runResult) error {
+	out := report.RunResultJSON{
+		Workload:  p.Workload,
+		Replay:    p.Replay,
+		Instr:     p.Instr,
+		Cores:     p.Cores,
+		Events:    res.Events,
+		Normal:    res.Normal,
+		Migration: res.Mig,
+	}
+	if p.Replay != "" {
+		out.Workload = "" // trace-driven: the workload flag played no part
+	}
+	return report.WriteRunJSON(w, out)
+}
+
+// closeKeeping closes c and records its error into *err unless an
+// earlier error is already there — the shared idiom for every close on
+// a result path in this package, so a failed flush (e.g. a full
+// filesystem surfacing at Close) cannot exit 0.
+func closeKeeping(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
 	}
 }
 
@@ -175,56 +228,58 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			closeKeeping(&err, f)
 			return nil, err
 		}
 		cpuFile = f
 	}
 	var done bool
-	return func() error {
+	return func() (err error) {
 		if done {
 			return nil
 		}
 		done = true
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
+			closeKeeping(&err, cpuFile)
+			if err != nil {
 				return err
 			}
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return err
+			f, ferr := os.Create(memPath)
+			if ferr != nil {
+				return ferr
 			}
+			defer closeKeeping(&err, f)
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
-				return err
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				return werr
 			}
-			return f.Close()
 		}
 		return nil
 	}, nil
 }
 
-// watchInterrupt arms the graceful-stop handler: the first SIGINT sets
-// stop (the run aborts at the next event boundary), then unregisters so
-// a second SIGINT terminates the process the default way.
+// watchInterrupt arms the shared graceful-stop handler: the first
+// SIGINT or SIGTERM sets stop (the run aborts at the next event
+// boundary, writing a resumable checkpoint when -checkpoint is set),
+// then unregisters so a second signal terminates the process the
+// default way.
 func watchInterrupt(stop *atomic.Bool) {
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sigc
+		sig := <-sigc
 		stop.Store(true)
 		signal.Stop(sigc)
-		fmt.Fprintln(os.Stderr, "emsim: interrupt received, stopping at next event (interrupt again to kill)")
+		fmt.Fprintf(os.Stderr, "emsim: %v received, stopping at next event (signal again to kill)\n", sig)
 	}()
 }
 
-// report prints the event-count comparison. For an interrupted run it is
-// the partial report over the events consumed so far.
-func report(p runParams, res *runResult) {
+// printReport prints the event-count comparison. For an interrupted run
+// it is the partial report over the events consumed so far.
+func printReport(p runParams, res *runResult) {
 	normal, mig := res.Normal, res.Mig
 
 	switch {

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -307,5 +311,148 @@ func TestParallelStopAfterDeterministic(t *testing.T) {
 	}
 	if serial.Normal != parallel.Normal || serial.Mig != parallel.Mig || serial.Events != parallel.Events {
 		t.Fatalf("stop-after runs diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestSIGTERMGracefulStop mirrors TestSIGINTGracefulStop for SIGTERM:
+// the shared handler treats both signals as the same graceful-stop
+// request, so a terminated run leaves a resumable EMCKPT1 checkpoint
+// that reproduces the uninterrupted run's stats exactly.
+func TestSIGTERMGracefulStop(t *testing.T) {
+	dir := t.TempDir()
+	base := runParams{Workload: "181.mcf", Instr: 3_000_000, Cores: 4}
+
+	refp := base
+	ref, err := run(&refp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(dir, "sigterm.ckpt")
+	p := base
+	p.Checkpoint = ckpt
+	var stop atomic.Bool
+	p.stop = &stop
+	watchInterrupt(&stop)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+	res, err := run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		// The run finished before the signal landed; the graceful path
+		// wasn't exercised but nothing is wrong. Don't fail on slow CI.
+		t.Skip("run completed before SIGTERM arrived")
+	}
+
+	magic := make([]byte, 8)
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatalf("SIGTERM left no checkpoint: %v", err)
+	}
+	if _, err := io.ReadFull(f, magic); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if string(magic) != "EMCKPT1\n" {
+		t.Fatalf("checkpoint magic %q, want EMCKPT1", magic)
+	}
+
+	q := runParams{Resume: ckpt}
+	res2, err := run(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res.Events {
+		t.Fatalf("resumed from event %d, SIGTERM was at %d", res2.Resumed, res.Events)
+	}
+	if res2.Normal != ref.Normal || res2.Mig != ref.Mig {
+		t.Fatalf("SIGTERM resume diverged:\n got %+v\nwant %+v", res2.Mig, ref.Mig)
+	}
+}
+
+// TestWriteRunJSON: -json renders through the shared report encoder —
+// deterministic bytes, workload identity, and the trace-driven mode
+// reporting the replay path instead of a meaningless workload name.
+func TestWriteRunJSON(t *testing.T) {
+	p := runParams{Workload: "mst", Instr: 100_000, Cores: 4}
+	res, err := run(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := writeRunJSON(&a, p, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRunJSON(&b, p, res); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("writeRunJSON is not deterministic")
+	}
+	var out struct {
+		Workload string `json:"workload"`
+		Replay   string `json:"replay"`
+		Instr    uint64 `json:"instr"`
+		Events   uint64 `json:"events"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workload != "mst" || out.Instr != 100_000 || out.Events != res.Events {
+		t.Fatalf("bad JSON result: %s", a.String())
+	}
+
+	rp := runParams{Replay: "some.trace", Workload: "mst", Instr: 1, Cores: 4}
+	var c bytes.Buffer
+	if err := writeRunJSON(&c, rp, res); err != nil {
+		t.Fatal(err)
+	}
+	var traced struct {
+		Workload string `json:"workload"`
+		Replay   string `json:"replay"`
+	}
+	if err := json.Unmarshal(c.Bytes(), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Workload != "" || traced.Replay != "some.trace" {
+		t.Fatalf("trace-driven JSON kept the workload name: %s", c.String())
+	}
+}
+
+// TestCloseKeeping: the close helper surfaces a Close error only when
+// nothing failed earlier.
+func TestCloseKeeping(t *testing.T) {
+	var err error
+	closeKeeping(&err, closerFunc(func() error { return nil }))
+	if err != nil {
+		t.Fatalf("clean close set error %v", err)
+	}
+	closeKeeping(&err, closerFunc(func() error { return errClose }))
+	if err != errClose {
+		t.Fatalf("close error not kept: %v", err)
+	}
+	prior := errors.New("prior failure")
+	err = prior
+	closeKeeping(&err, closerFunc(func() error { return errClose }))
+	if err != prior {
+		t.Fatalf("close error displaced the primary error: %v", err)
+	}
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+var errClose = errors.New("close failed")
+
+// TestWriteTimelineCloseError: a timeline destination that cannot be
+// flushed (a directory) reports the failure instead of dropping it.
+func TestWriteTimelineCloseError(t *testing.T) {
+	if err := writeTimeline(t.TempDir(), nil); err == nil {
+		t.Fatal("writing a timeline to a directory succeeded")
 	}
 }

@@ -2,8 +2,6 @@ package main
 
 import (
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 
 	"repro/internal/machine"
@@ -99,7 +97,7 @@ func (rt *runTelemetry) finish() []telemetry.Row {
 }
 
 // writeTimeline writes rows as JSONL to path ("-" = stdout).
-func writeTimeline(path string, rows []telemetry.Row) error {
+func writeTimeline(path string, rows []telemetry.Row) (err error) {
 	if path == "-" {
 		return telemetry.WriteJSONL(os.Stdout, rows)
 	}
@@ -107,23 +105,20 @@ func writeTimeline(path string, rows []telemetry.Row) error {
 	if err != nil {
 		return err
 	}
-	if err := telemetry.WriteJSONL(f, rows); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer closeKeeping(&err, f)
+	return telemetry.WriteJSONL(f, rows)
 }
 
 // serveMetrics binds addr and serves the live metrics endpoint in the
-// background for the lifetime of the process. It returns the bound
-// address (useful with ":0") and the publisher the run feeds.
+// background until the run's teardown shuts the returned Live down — so
+// a finished run releases its port instead of leaking the listener for
+// the life of the process. It returns the bound address (useful with
+// ":0") and the publisher the run feeds.
 func serveMetrics(addr string) (*telhttp.Live, string, error) {
-	ln, err := net.Listen("tcp", addr)
+	live := telhttp.NewLive()
+	bound, err := live.Start(addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("emsim: -metrics: %w", err)
 	}
-	live := telhttp.NewLive()
-	srv := &http.Server{Handler: live}
-	go srv.Serve(ln) //nolint:errcheck // server dies with the process
-	return live, ln.Addr().String(), nil
+	return live, bound, nil
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// run dispatches one subcommand and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emsimc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8650", "emsimd address (host:port)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: emsimc [-addr host:port] run|sweep|metrics|health [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	base := "http://" + *addr
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "run":
+		return doRun(base, rest, stdout, stderr)
+	case "sweep":
+		return doSweep(base, rest, stdout, stderr)
+	case "metrics":
+		return doGet(base+"/metrics", stdout, stderr)
+	case "health":
+		return doGet(base+"/healthz", stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "emsimc: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+}
+
+// doRun POSTs one /run request built from flags.
+func doRun(base string, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emsimc run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var req service.RunRequest
+	fs.StringVar(&req.Workload, "workload", "", "workload name (required)")
+	fs.Uint64Var(&req.Instr, "instr", 0, "instruction budget (0 = service default)")
+	fs.IntVar(&req.Cores, "cores", 0, "migration cores (0 = service default)")
+	fs.Uint64Var(&req.TimeoutMS, "timeout-ms", 0, "per-request deadline in ms (0 = service default)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	return doPost(base+"/run", req, stdout, stderr)
+}
+
+// doSweep POSTs one /sweep request built from flags.
+func doSweep(base string, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emsimc sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var req service.SweepRequest
+	sizes := fs.String("sizes", "", "comma-separated working-set sizes in cache lines (empty = service default)")
+	fs.Uint64Var(&req.Laps, "laps", 0, "laps per point (0 = service default)")
+	fs.IntVar(&req.Cores, "cores", 0, "migration cores (0 = service default)")
+	fs.Uint64Var(&req.TimeoutMS, "timeout-ms", 0, "per-request deadline in ms (0 = service default)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "emsimc: bad -sizes entry %q: %v\n", s, err)
+				return 2
+			}
+			req.Sizes = append(req.Sizes, n)
+		}
+	}
+	return doPost(base+"/sweep", req, stdout, stderr)
+}
+
+// doPost sends one job request and streams the response following the
+// CLI contract: body to stdout on 200 (cache disposition on stderr),
+// body to stderr with exit 1 otherwise.
+func doPost(url string, req any, stdout, stderr io.Writer) int {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintf(stderr, "emsimc: %v\n", err)
+		return 1
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(stderr, "emsimc: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if disposition := resp.Header.Get(service.CacheHeader); disposition != "" {
+		fmt.Fprintf(stderr, "emsimc: cache %s\n", disposition)
+	}
+	return finish(resp, stdout, stderr)
+}
+
+// doGet fetches a read-only endpoint.
+func doGet(url string, stdout, stderr io.Writer) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(stderr, "emsimc: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	return finish(resp, stdout, stderr)
+}
+
+// finish copies the response to the right stream and maps the status to
+// an exit code.
+func finish(resp *http.Response, stdout, stderr io.Writer) int {
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "emsimc: %s: ", resp.Status)
+		io.Copy(stderr, resp.Body) //nolint:errcheck // best-effort error relay
+		fmt.Fprintln(stderr)
+		return 1
+	}
+	if _, err := io.Copy(stdout, resp.Body); err != nil {
+		fmt.Fprintf(stderr, "emsimc: reading response: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/telemetry/telhttp"
+)
+
+// startService serves a real Service over httptest and returns its
+// host:port.
+func startService(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(service.New(service.Config{Workers: 2, Live: telhttp.NewLive()}).Handler())
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func runClient(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestClientRunAndCacheDisposition: a run prints the result JSON to
+// stdout with "cache miss" on stderr; the repeat reports "cache hit"
+// with identical stdout bytes.
+func TestClientRunAndCacheDisposition(t *testing.T) {
+	addr := startService(t)
+	args := []string{"-addr", addr, "run", "-workload", "mst", "-instr", "100000"}
+	code, cold, stderr := runClient(t, args...)
+	if code != 0 {
+		t.Fatalf("cold run exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "cache miss") {
+		t.Fatalf("cold stderr: %q", stderr)
+	}
+	if !strings.Contains(cold, `"workload": "mst"`) {
+		t.Fatalf("stdout not a run result:\n%s", cold)
+	}
+	code, warm, stderr := runClient(t, args...)
+	if code != 0 || !strings.Contains(stderr, "cache hit") {
+		t.Fatalf("warm run exit %d stderr %q", code, stderr)
+	}
+	if warm != cold {
+		t.Fatal("cached run bytes differ from cold run")
+	}
+}
+
+// TestClientSweep: sizes parse into the request and come back as
+// points.
+func TestClientSweep(t *testing.T) {
+	addr := startService(t)
+	code, out, stderr := runClient(t, "-addr", addr, "sweep", "-sizes", "1024, 2048", "-laps", "2")
+	if code != 0 {
+		t.Fatalf("sweep exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(out, `"Lines": 1024`) || !strings.Contains(out, `"Lines": 2048`) {
+		t.Fatalf("sweep points missing:\n%s", out)
+	}
+	if code, _, _ := runClient(t, "-addr", addr, "sweep", "-sizes", "12x4"); code != 2 {
+		t.Fatal("malformed -sizes accepted")
+	}
+}
+
+// TestClientMetricsAndHealth: the read-only subcommands relay the
+// service's JSON.
+func TestClientMetricsAndHealth(t *testing.T) {
+	addr := startService(t)
+	code, out, _ := runClient(t, "-addr", addr, "health")
+	if code != 0 || !strings.Contains(out, `"ok"`) {
+		t.Fatalf("health: exit %d out %q", code, out)
+	}
+	code, out, _ = runClient(t, "-addr", addr, "metrics")
+	if code != 0 || !strings.Contains(out, "service_cache_hits") {
+		t.Fatalf("metrics: exit %d out %q", code, out)
+	}
+}
+
+// TestClientErrors: service-side errors exit 1 with the error body on
+// stderr; usage errors exit 2; an unreachable daemon exits 1.
+func TestClientErrors(t *testing.T) {
+	addr := startService(t)
+	code, out, stderr := runClient(t, "-addr", addr, "run", "-workload", "no-such-workload")
+	if code != 1 {
+		t.Fatalf("bad workload exit %d", code)
+	}
+	if out != "" || !strings.Contains(stderr, "400") {
+		t.Fatalf("error relay: stdout %q stderr %q", out, stderr)
+	}
+	if code, _, _ := runClient(t); code != 2 {
+		t.Fatal("no subcommand accepted")
+	}
+	if code, _, _ := runClient(t, "-addr", addr, "frobnicate"); code != 2 {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if code, _, _ := runClient(t, "-addr", "127.0.0.1:1", "health"); code != 1 {
+		t.Fatal("unreachable daemon did not exit 1")
+	}
+}

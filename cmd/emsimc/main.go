@@ -1,0 +1,22 @@
+// Command emsimc is the thin client for the emsimd simulation service.
+// It builds the JSON request from flags, prints the service's response
+// body to stdout, and reports the cache disposition on stderr — which
+// is exactly what the e2e suite needs to diff service results against
+// the serial `emsim -json` CLI and to observe cache hits.
+//
+// Usage:
+//
+//	emsimc -addr 127.0.0.1:8650 run -workload mst -instr 100000 -cores 4
+//	emsimc -addr 127.0.0.1:8650 sweep -sizes 1024,2048 -laps 2
+//	emsimc -addr 127.0.0.1:8650 metrics
+//	emsimc -addr 127.0.0.1:8650 health
+//
+// Exit status: 0 on HTTP 200, 1 when the service answers an error or is
+// unreachable, 2 on usage errors.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

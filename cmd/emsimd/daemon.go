@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry/telhttp"
+)
+
+// shutdownGrace bounds how long exit waits for in-flight HTTP responses
+// after the job-level drain has already settled every worker.
+const shutdownGrace = 5 * time.Second
+
+// run is the daemon's whole lifecycle: parse flags, serve until a
+// signal arrives on signals, drain, exit. It returns the process exit
+// code. ready, when non-nil, is called with the bound address once the
+// listener is up (tests use it; main passes nil and reads the stderr
+// banner instead).
+func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(addr string)) int {
+	fs := flag.NewFlagSet("emsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8650", "listen address (host:port; port 0 picks a free one)")
+		workers = fs.Int("workers", 0, "concurrent simulation jobs (0 = all cores)")
+		queue   = fs.Int("queue", 16, "admitted requests that may wait for a worker (-1 = none: busy means 429)")
+		cache   = fs.Int("cache", 256, "result cache entries (-1 = disable caching)")
+		timeout = fs.Duration("timeout", 0, "default per-request deadline when the request carries none (0 = unlimited)")
+		spool   = fs.String("spool", "", "directory receiving checkpoints of jobs cancelled by drain")
+		drain   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight jobs finish before cancelling them")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "emsimd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	live := telhttp.NewLive()
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		SpoolDir:       *spool,
+		Live:           live,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "emsimd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "emsimd: listening on http://%s/\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "emsimd: serve: %v\n", err)
+		return 1
+	case sig := <-signals:
+		fmt.Fprintf(stderr, "emsimd: %v received, draining (up to %v)\n", sig, *drain)
+	}
+
+	// Job-level drain first: admission is already refused, running jobs
+	// get the grace period, stragglers checkpoint to -spool.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if cancelled := svc.Drain(ctx); cancelled {
+		fmt.Fprintln(stderr, "emsimd: drain deadline expired; remaining jobs cancelled (checkpointed when -spool is set)")
+	}
+	// Then the HTTP teardown: every handler now only needs to flush its
+	// (completed or 503) response.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "emsimd: shutdown: %v\n", err)
+	}
+	if err := live.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "emsimd: metrics shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "emsimd: serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "emsimd: drained, exiting")
+	return 0
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the daemon goroutine write stderr while the test
+// reads it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startDaemon runs the daemon on a free port and returns its address,
+// signal channel, exit-code channel, and stderr sink.
+func startDaemon(t *testing.T, argv ...string) (string, chan os.Signal, chan int, *lockedBuffer) {
+	t.Helper()
+	stderr := &lockedBuffer{}
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0"}, argv...), stderr, sigc, func(a string) { ready <- a })
+	}()
+	select {
+	case addr := <-ready:
+		return addr, sigc, exit, stderr
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before listening\n%s", code, stderr.String())
+		return "", nil, nil, nil
+	}
+}
+
+// TestDaemonLifecycle: the daemon serves runs (with cache headers and
+// metrics), then a SIGTERM drains it to exit 0 and releases the port.
+func TestDaemonLifecycle(t *testing.T) {
+	addr, sigc, exit, stderr := startDaemon(t)
+
+	if !strings.Contains(stderr.String(), "emsimd: listening on http://") {
+		t.Fatalf("no listening banner in stderr: %q", stderr.String())
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"workload":"mst","instr":100000}`
+	cold, err := http.Post("http://"+addr+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBytes, _ := io.ReadAll(cold.Body)
+	cold.Body.Close()
+	if cold.StatusCode != 200 || cold.Header.Get("Emsim-Cache") != "miss" {
+		t.Fatalf("cold run: %d cache=%q\n%s", cold.StatusCode, cold.Header.Get("Emsim-Cache"), coldBytes)
+	}
+	warm, err := http.Post("http://"+addr+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBytes, _ := io.ReadAll(warm.Body)
+	warm.Body.Close()
+	if warm.Header.Get("Emsim-Cache") != "hit" || !bytes.Equal(coldBytes, warmBytes) {
+		t.Fatal("repeat request was not a byte-identical cache hit")
+	}
+
+	metrics, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if !strings.Contains(string(metricsBody), `"service_cache_hits": 1`) {
+		t.Fatalf("cache hit not visible in /metrics:\n%s", metricsBody)
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("drained daemon exited %d\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained, exiting") {
+		t.Fatalf("no drain message in stderr: %q", stderr.String())
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		t.Fatal("port still accepting connections after drain")
+	}
+}
+
+// TestDaemonBadFlags: flag errors and leftover arguments exit 2 without
+// binding a port.
+func TestDaemonBadFlags(t *testing.T) {
+	stderr := &lockedBuffer{}
+	if code := run([]string{"-no-such-flag"}, stderr, nil, nil); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"leftover"}, stderr, nil, nil); code != 2 {
+		t.Fatalf("leftover args exit = %d, want 2", code)
+	}
+}
+
+// TestDaemonBadAddr: an unbindable address exits 1.
+func TestDaemonBadAddr(t *testing.T) {
+	stderr := &lockedBuffer{}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, stderr, nil, nil); code != 1 {
+		t.Fatalf("bad addr exit = %d, want 1\n%s", code, stderr.String())
+	}
+}

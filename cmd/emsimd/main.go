@@ -1,0 +1,40 @@
+// Command emsimd serves the execution-migration simulator as a
+// long-running HTTP/JSON service: a bounded worker pool behind a
+// content-addressed result cache, so repeated experiments cost one
+// simulation and concurrent clients share the machine without
+// oversubscribing it.
+//
+// Usage:
+//
+//	emsimd -addr :8650
+//	emsimd -addr :0 -workers 4 -queue 8 -timeout 2m -spool /var/spool/emsim
+//
+// Endpoints:
+//
+//	POST /run     {"workload","instr","cores","timeout_ms"} → run result JSON
+//	POST /sweep   {"sizes","laps","cores","timeout_ms"}     → sweep result JSON
+//	GET  /metrics                                            → live service + machine metrics
+//	GET  /healthz                                            → {"status":"ok"} or 503 while draining
+//
+// Responses carry an Emsim-Cache: hit|miss header. Results are
+// byte-identical to `emsim -json` for the same parameters — the service
+// renders through the same encoder over the same deterministic
+// simulation, which is also what makes caching sound.
+//
+// SIGTERM or SIGINT drains gracefully: admission stops (healthz turns
+// 503), in-flight jobs get -drain-timeout to finish, jobs still running
+// then checkpoint to -spool (resumable with `emsim -resume`) and the
+// process exits 0.
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stderr, sigc, nil))
+}

@@ -18,8 +18,8 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files with current output")
 
-// binDir holds the freshly built emsim and tables binaries for the
-// whole test run.
+// binDir holds the freshly built emsim, tables, emsimd and emsimc
+// binaries for the whole test run.
 var binDir string
 
 func TestMain(m *testing.M) {
@@ -29,7 +29,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	build := exec.Command("go", "build", "-o", dir, "repro/cmd/emsim", "repro/cmd/tables")
+	build := exec.Command("go", "build", "-o", dir, "repro/cmd/emsim", "repro/cmd/tables", "repro/cmd/emsimd", "repro/cmd/emsimc")
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "building CLI binaries:", err)

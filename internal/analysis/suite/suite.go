@@ -35,12 +35,15 @@ var All = []*analysis.Analyzer{
 }
 
 // resultPackages are the packages whose outputs feed tables, figures
-// and experiment results — the determinism contract's surface.
+// and experiment results — the determinism contract's surface. The
+// service layer is included because its content-addressed cache is only
+// sound while its job bodies stay deterministic.
 var resultPackages = map[string]bool{
 	ModulePath + "/internal/report":   true,
 	ModulePath + "/internal/runner":   true,
 	ModulePath + "/internal/machine":  true,
 	ModulePath + "/internal/affinity": true,
+	ModulePath + "/internal/service":  true,
 }
 
 // InModule reports whether pkgPath belongs to this module (and is not

@@ -1,0 +1,53 @@
+// Machine-readable result encodings. The emsim CLI (-json) and the
+// emsimd service both emit results through these writers, which is what
+// makes the service's byte-identity contract checkable: the same
+// deterministic simulation rendered by the same encoder produces the
+// same bytes, whether it ran in-process, behind the service's worker
+// pool, or came out of the service's result cache.
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// RunResultJSON is the canonical JSON shape of one two-machine run (the
+// emsim experiment: 1-core baseline vs N-core migration over one input
+// stream).
+type RunResultJSON struct {
+	// Workload names the synthetic workload ("" when trace-driven).
+	Workload string `json:"workload,omitempty"`
+	// Replay is the driving trace path ("" when synthetic).
+	Replay string `json:"replay,omitempty"`
+	// Instr is the instruction budget of the run.
+	Instr uint64 `json:"instr"`
+	// Cores is the migration machine's core count.
+	Cores int `json:"cores"`
+	// Events is the number of sink events both machines consumed.
+	Events uint64 `json:"events"`
+
+	Normal    machine.Stats `json:"normal"`
+	Migration machine.Stats `json:"migration"`
+}
+
+// SweepResultJSON is the canonical JSON shape of one working-set sweep.
+type SweepResultJSON struct {
+	Cores  int          `json:"cores"`
+	Laps   uint64       `json:"laps"`
+	Points []SweepPoint `json:"points"`
+}
+
+// WriteRunJSON encodes r deterministically (struct field order, 2-space
+// indent, trailing newline).
+func WriteRunJSON(w io.Writer, r RunResultJSON) error { return writeJSON(w, r) }
+
+// WriteSweepJSON encodes r deterministically.
+func WriteSweepJSON(w io.Writer, r SweepResultJSON) error { return writeJSON(w, r) }
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestWriteRunJSONDeterministic: identical values encode to identical
+// bytes, the bytes round-trip, and the stream ends in exactly one
+// newline (the byte-identity contract of the service cache).
+func TestWriteRunJSONDeterministic(t *testing.T) {
+	r := RunResultJSON{
+		Workload:  "mst",
+		Instr:     200_000,
+		Cores:     4,
+		Events:    123_456,
+		Normal:    machine.Stats{Instructions: 200_000, L2Misses: 42},
+		Migration: machine.Stats{Instructions: 200_000, L2Misses: 7, Migrations: 3},
+	}
+	var a, b bytes.Buffer
+	if err := WriteRunJSON(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunJSON(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same result differ")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("}\n")) || bytes.HasSuffix(a.Bytes(), []byte("\n\n")) {
+		t.Fatalf("encoding does not end in exactly one newline: %q", a.String())
+	}
+	var back RunResultJSON
+	if err := json.Unmarshal(a.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != r.Workload || back.Events != r.Events ||
+		back.Normal != r.Normal || back.Migration != r.Migration {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back, r)
+	}
+}
+
+// TestWriteRunJSONOmitsEmptySource: a workload run carries no "replay"
+// key and a replay run no "workload" key.
+func TestWriteRunJSONOmitsEmptySource(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRunJSON(&buf, RunResultJSON{Workload: "mst"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"replay"`) {
+		t.Fatalf("workload run encodes a replay key:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteRunJSON(&buf, RunResultJSON{Replay: "w.trace"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"workload"`) {
+		t.Fatalf("replay run encodes a workload key:\n%s", buf.String())
+	}
+}
+
+// TestWriteSweepJSON: the sweep encoding round-trips with points in
+// input order.
+func TestWriteSweepJSON(t *testing.T) {
+	r := SweepResultJSON{
+		Cores: 4,
+		Laps:  40,
+		Points: []SweepPoint{
+			{Lines: 4096, Bytes: 4096 << 6, Ratio: 1.0},
+			{Lines: 8192, Bytes: 8192 << 6, Ratio: 0.5, InstrPerMigration: 1000, BreakEvenPmig: 12.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.Points[0] != r.Points[0] || back.Points[1] != r.Points[1] {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back, r)
+	}
+}

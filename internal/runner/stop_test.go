@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitFlag polls the flag for up to a second.
+func waitFlag(t *testing.T, f interface{ Load() bool }) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if f.Load() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("stop flag never flipped")
+}
+
+func TestStopWhenDoneFlipsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stop, release := StopWhenDone(ctx)
+	defer release()
+	if stop.Load() {
+		t.Fatal("flag set before cancellation")
+	}
+	cancel()
+	waitFlag(t, stop)
+}
+
+func TestStopWhenDoneAlreadyExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stop, release := StopWhenDone(ctx)
+	defer release()
+	waitFlag(t, stop)
+}
+
+// TestStopWhenDoneAnyContext: the flag observes whichever context ends
+// first — the shape of "request deadline OR server drain".
+func TestStopWhenDoneAnyContext(t *testing.T) {
+	reqCtx := context.Background()
+	drainCtx, drain := context.WithCancel(context.Background())
+	stop, release := StopWhenDone(reqCtx, drainCtx)
+	defer release()
+	drain()
+	waitFlag(t, stop)
+}
+
+// TestStopWhenDoneRelease: release returns even when no context ever
+// fires, and is safe to call twice.
+func TestStopWhenDoneRelease(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop, release := StopWhenDone(ctx, nil)
+	release()
+	release()
+	if stop.Load() {
+		t.Fatal("flag set without cancellation")
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import "sync"
+
+// resultCache is the content-addressed response store: finished result
+// bodies keyed by RunSpec/SweepSpec content hashes. Entries are
+// immutable byte slices (the exact bytes served to clients), so a hit
+// is a map lookup and a header — no re-encoding, which is what makes
+// cached responses trivially byte-identical to cold ones.
+//
+// Capacity is bounded; when full, the oldest entry by insertion order
+// is evicted (results have no expiry — a deterministic simulator's
+// output never goes stale, so FIFO is only a memory bound, not a
+// freshness policy).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]byte
+	order   []string // insertion order, oldest first
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: make(map[string][]byte, max)}
+}
+
+// get returns the cached body for key.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[key]
+	return b, ok
+}
+
+// put stores body under key, evicting the oldest entry when full.
+// Storing an existing key is a no-op (the first computed result wins;
+// both are byte-identical by determinism anyway).
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	if c.max <= 0 {
+		return
+	}
+	c.entries[key] = body
+	c.order = append(c.order, key)
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestResultCacheEviction: the cache holds at most max entries and
+// evicts oldest-first; re-putting an existing key neither duplicates
+// nor reorders.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	c.put("a", []byte("A2")) // no-op: first result wins
+	if b, ok := c.get("a"); !ok || string(b) != "A" {
+		t.Fatalf("a = %q, %v", b, ok)
+	}
+	c.put("c", []byte("C")) // evicts a (oldest)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	for k, want := range map[string]string{"b": "B", "c": "C"} {
+		if b, ok := c.get(k); !ok || string(b) != want {
+			t.Fatalf("%s = %q, %v", k, b, ok)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestResultCacheDisabled: a non-positive capacity stores nothing but
+// never blocks the caller.
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprint(i), []byte("x"))
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.len())
+	}
+}

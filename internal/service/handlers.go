@@ -1,0 +1,154 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RunRequest is the /run body: the canonical spec plus per-request
+// scheduling knobs that do not participate in the cache key.
+type RunRequest struct {
+	RunSpec
+	// TimeoutMS overrides the service's default per-request deadline
+	// (0 = use the default).
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the /sweep body.
+type SweepRequest struct {
+	SweepSpec
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
+}
+
+// CacheHeader is the response header naming which path produced the
+// body: "hit" or "miss".
+const CacheHeader = "Emsim-Cache"
+
+// retryAfterSeconds is the backoff hint sent with 429 responses.
+const retryAfterSeconds = 1
+
+// maxRequestBody bounds how much of a request body the service reads.
+const maxRequestBody = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run     one workload run         -> report.RunResultJSON
+//	POST /sweep   working-set sweep        -> report.SweepResultJSON
+//	GET  /healthz liveness + drain state   -> {"status":"ok"|"draining"}
+//	GET  /metrics live service + machine metrics (telhttp.Live)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, func(ctx context.Context, body []byte) ([]byte, bool, error) {
+			var req RunRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, false, &BadRequestError{err}
+			}
+			ctx, cancel := s.withTimeout(ctx, req.TimeoutMS)
+			defer cancel()
+			return s.Run(ctx, req.RunSpec)
+		})
+	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, func(ctx context.Context, body []byte) ([]byte, bool, error) {
+			var req SweepRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, false, &BadRequestError{err}
+			}
+			ctx, cancel := s.withTimeout(ctx, req.TimeoutMS)
+			defer cancel()
+			return s.Sweep(ctx, req.SweepSpec)
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	if s.cfg.Live != nil {
+		mux.Handle("/metrics", s.cfg.Live)
+	}
+	return mux
+}
+
+// withTimeout applies the request's deadline (or the service default).
+func (s *Service) withTimeout(ctx context.Context, timeoutMS uint64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// handleJob runs one POSTed job body and translates the service's
+// errors into status codes.
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request,
+	do func(ctx context.Context, body []byte) (out []byte, cached bool, err error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		http.Error(w, "reading request body: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	out, cached, err := do(r.Context(), body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set(CacheHeader, "hit")
+	} else {
+		w.Header().Set(CacheHeader, "miss")
+	}
+	w.Write(out) //nolint:errcheck // a broken client connection is not actionable
+}
+
+// writeError maps service errors onto HTTP status codes, always with a
+// JSON body.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var bad *BadRequestError
+	var drained *DrainedError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &drained):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is nginx's convention for it.
+		status = 499
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	resp := struct {
+		Error      string `json:"error"`
+		Checkpoint string `json:"checkpoint,omitempty"`
+	}{Error: err.Error()}
+	if drained != nil {
+		resp.Checkpoint = drained.Checkpoint
+	}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // a broken client connection is not actionable
+}

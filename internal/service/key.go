@@ -1,0 +1,140 @@
+// Package service is the long-running simulation layer behind the
+// emsimd daemon: a bounded admission queue in front of the worker pool,
+// per-request deadlines delivered to the event loop as stop flags, a
+// content-addressed result cache, and graceful drain that finishes or
+// checkpoints in-flight jobs.
+//
+// The cache is sound because the simulator is deterministic: a result
+// is fully determined by the workload, the machine configuration, and
+// the event-stream format version, so a response computed once can be
+// served for every later request with the same canonical identity —
+// byte-identical to what a fresh serial run would print (the e2e suite
+// pins this against the emsim CLI).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads/suite"
+)
+
+// Default request parameters, applied during canonicalization so that a
+// request omitting a field and a request spelling out the default are
+// the same cache entry.
+const (
+	DefaultInstr = 20_000_000 // emsim's default instruction budget
+	DefaultCores = 4          // the paper's configuration
+	DefaultLaps  = 40         // tables -sweep default
+)
+
+// RunSpec is the canonical identity of one /run request: workload name,
+// instruction budget, migration-machine core count. JSON field order in
+// the request body is irrelevant — the key is computed from this struct
+// after normalization, never from the request bytes.
+type RunSpec struct {
+	Workload string `json:"workload"`
+	Instr    uint64 `json:"instr,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
+}
+
+// normalized returns the spec with defaults filled in.
+func (s RunSpec) normalized() RunSpec {
+	if s.Instr == 0 {
+		s.Instr = DefaultInstr
+	}
+	if s.Cores == 0 {
+		s.Cores = DefaultCores
+	}
+	return s
+}
+
+// validate rejects specs the simulator cannot run. It assumes the spec
+// is already normalized.
+func (s RunSpec) validate() error {
+	switch s.Cores {
+	case 2, 4, 8:
+	default:
+		return fmt.Errorf("cores must be 2, 4 or 8, got %d", s.Cores)
+	}
+	if s.Workload == "" {
+		return fmt.Errorf("workload is required")
+	}
+	if _, err := suite.Registry().New(s.Workload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Key returns the spec's content address: a hex SHA-256 over the
+// canonical field encoding plus the trace-format version. Two requests
+// with the same normalized fields share a key regardless of JSON field
+// order or whether defaults were spelled out.
+func (s RunSpec) Key() string {
+	n := s.normalized()
+	return hashKey(fmt.Sprintf("op=run\nworkload=%s\ninstr=%d\ncores=%d", n.Workload, n.Instr, n.Cores))
+}
+
+// SweepSpec is the canonical identity of one /sweep request. Sizes are
+// working-set sizes in cache lines; order matters (points come back in
+// input order), so it is part of the key.
+type SweepSpec struct {
+	Sizes []uint64 `json:"sizes,omitempty"`
+	Laps  uint64   `json:"laps,omitempty"`
+	Cores int      `json:"cores,omitempty"`
+}
+
+// normalized returns the spec with defaults filled in.
+func (s SweepSpec) normalized() SweepSpec {
+	if len(s.Sizes) == 0 {
+		s.Sizes = report.DefaultSweepSizes()
+	}
+	if s.Laps == 0 {
+		s.Laps = DefaultLaps
+	}
+	if s.Cores == 0 {
+		s.Cores = DefaultCores
+	}
+	return s
+}
+
+// validate rejects specs the sweep driver cannot run (normalized input).
+func (s SweepSpec) validate() error {
+	switch s.Cores {
+	case 2, 4, 8:
+	default:
+		return fmt.Errorf("cores must be 2, 4 or 8, got %d", s.Cores)
+	}
+	for _, ws := range s.Sizes {
+		if ws == 0 {
+			return fmt.Errorf("sweep sizes must be positive")
+		}
+	}
+	return nil
+}
+
+// Key returns the sweep's content address.
+func (s SweepSpec) Key() string {
+	n := s.normalized()
+	var b strings.Builder
+	fmt.Fprintf(&b, "op=sweep\nlaps=%d\ncores=%d\nsizes=", n.Laps, n.Cores)
+	for i, ws := range n.Sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", ws)
+	}
+	return hashKey(b.String())
+}
+
+// hashKey finishes a canonical encoding into the content address,
+// folding in the event-stream format version: results computed under
+// one trace encoding are never served for another.
+func hashKey(canonical string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("tracefmt=%d\n%s\n", trace.FormatVersion, canonical)))
+	return hex.EncodeToString(h[:])
+}

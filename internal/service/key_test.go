@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestRunKeyCanonicalization: the content address depends only on the
+// normalized spec — JSON field order and spelled-out defaults are
+// invisible, while every semantic field is load-bearing.
+func TestRunKeyCanonicalization(t *testing.T) {
+	base := RunSpec{Workload: "mst", Instr: DefaultInstr, Cores: DefaultCores}
+	cases := []struct {
+		name string
+		body string // JSON request body
+		same bool   // same key as base?
+	}{
+		{"identical", `{"workload":"mst","instr":20000000,"cores":4}`, true},
+		{"field order reversed", `{"cores":4,"instr":20000000,"workload":"mst"}`, true},
+		{"defaults omitted", `{"workload":"mst"}`, true},
+		{"instr default spelled out", `{"workload":"mst","instr":20000000}`, true},
+		{"different workload", `{"workload":"em3d"}`, false},
+		{"different instr", `{"workload":"mst","instr":19999999}`, false},
+		{"different cores", `{"workload":"mst","cores":8}`, false},
+	}
+	want := base.Key()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var spec RunSpec
+			if err := json.Unmarshal([]byte(c.body), &spec); err != nil {
+				t.Fatal(err)
+			}
+			got := spec.Key()
+			if (got == want) != c.same {
+				t.Fatalf("key(%s) = %s, base = %s, want same=%v", c.body, got, want, c.same)
+			}
+		})
+	}
+}
+
+// TestSweepKeyCanonicalization: same contract for sweeps, including
+// that the default size list and an explicitly spelled-out copy of it
+// are one cache entry, and that point order is load-bearing.
+func TestSweepKeyCanonicalization(t *testing.T) {
+	def := SweepSpec{}.Key()
+	explicit := SweepSpec{Sizes: report.DefaultSweepSizes(), Laps: DefaultLaps, Cores: DefaultCores}
+	if explicit.Key() != def {
+		t.Fatal("spelled-out defaults hash differently from an empty spec")
+	}
+	a := SweepSpec{Sizes: []uint64{4096, 8192}}
+	b := SweepSpec{Sizes: []uint64{8192, 4096}}
+	if a.Key() == b.Key() {
+		t.Fatal("size order is part of the result but not of the key")
+	}
+	if (SweepSpec{Laps: 41}).Key() == def {
+		t.Fatal("laps not in the key")
+	}
+	if (SweepSpec{Cores: 8}).Key() == def {
+		t.Fatal("cores not in the key")
+	}
+}
+
+// TestKeyNamespacesOps: a run and a sweep can never collide, whatever
+// their fields.
+func TestKeyNamespacesOps(t *testing.T) {
+	if (RunSpec{Workload: "mst"}).Key() == (SweepSpec{}).Key() {
+		t.Fatal("run and sweep keys share a namespace")
+	}
+}
+
+// TestRunSpecValidate: unrunnable specs are rejected after
+// normalization.
+func TestRunSpecValidate(t *testing.T) {
+	for _, bad := range []RunSpec{
+		{Workload: "mst", Cores: 3},
+		{Workload: "no-such-workload"},
+		{},
+	} {
+		if err := bad.normalized().validate(); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	if err := (RunSpec{Workload: "mst"}).normalized().validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for _, bad := range []SweepSpec{
+		{Cores: 5},
+		{Sizes: []uint64{0}},
+	} {
+		if err := bad.normalized().validate(); err == nil {
+			t.Errorf("sweep spec %+v accepted", bad)
+		}
+	}
+}

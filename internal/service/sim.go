@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/workloads/suite"
+)
+
+// The job bodies below reproduce the emsim CLI's serial tee pass
+// exactly — same machine construction, same event numbering — which is
+// what the byte-identity e2e contract rests on: a /run response must
+// equal `emsim -json` for the same parameters, whether it was computed
+// here or served from the cache.
+
+// stopJob is the panic sentinel that unwinds a workload generator when
+// the job's context ends mid-stream (generators cannot return early);
+// driveJob recovers it.
+type stopJob struct{}
+
+// jobSink tees one event stream into both machines, numbers events, and
+// aborts when the job's stop flag flips (context deadline or drain).
+type jobSink struct {
+	normal, mig mem.Sink
+	events      uint64
+	stop        *atomic.Bool
+}
+
+func (j *jobSink) Access(addr mem.Addr, kind mem.Kind) {
+	j.events++
+	j.normal.Access(addr, kind)
+	j.mig.Access(addr, kind)
+	j.checkStop()
+}
+
+func (j *jobSink) Instr(n uint64) {
+	j.events++
+	j.normal.Instr(n)
+	j.mig.Instr(n)
+	j.checkStop()
+}
+
+func (j *jobSink) checkStop() {
+	if j.stop.Load() {
+		//emlint:allowpanic control-flow sentinel: generators cannot return early; recovered in driveJob
+		panic(stopJob{})
+	}
+}
+
+// driveJob pushes the workload into sink, converting a stopJob panic
+// into interrupted=true.
+func driveJob(workload string, instr uint64, sink mem.Sink) (interrupted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopJob); ok {
+				interrupted = true
+				return
+			}
+			//emlint:allowpanic re-raise of a foreign panic captured by the sentinel recover
+			panic(r)
+		}
+	}()
+	w, err := suite.Registry().New(workload)
+	if err != nil {
+		return false, err
+	}
+	w.Run(sink, instr)
+	return false, nil
+}
+
+// runJob executes one cold /run request on the calling goroutine (the
+// caller already holds a worker slot). A cancelled job discards its
+// partial stats; when drain caused the cancellation and a spool
+// directory is configured, the partial machines are checkpointed first
+// so the work is resumable with `emsim -resume`.
+func (s *Service) runJob(ctx context.Context, spec RunSpec) ([]byte, error) {
+	normal, err := machine.New(machine.NormalConfig())
+	if err != nil {
+		return nil, err
+	}
+	migCfg, err := machine.MigrationConfigFor(spec.Cores)
+	if err != nil {
+		return nil, &BadRequestError{err}
+	}
+	mig, err := machine.New(migCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	jobCtx, cancel := s.jobContext(ctx)
+	defer cancel()
+	stop, releaseStop := runner.StopWhenDone(jobCtx)
+	defer releaseStop()
+
+	sink := &jobSink{normal: normal, mig: mig, stop: stop}
+	interrupted, err := driveJob(spec.Workload, spec.Instr, sink)
+	if err != nil {
+		return nil, err
+	}
+	if interrupted {
+		ckpt := ""
+		if s.jobsCtx.Err() != nil && s.cfg.SpoolDir != "" {
+			ckpt, err = s.spool(spec, normal, mig, sink.events)
+			if err != nil {
+				return nil, fmt.Errorf("service: spooling drained job: %w", err)
+			}
+		}
+		return nil, s.ctxError(ctx, ckpt)
+	}
+
+	var buf bytes.Buffer
+	err = report.WriteRunJSON(&buf, report.RunResultJSON{
+		Workload:  spec.Workload,
+		Instr:     spec.Instr,
+		Cores:     spec.Cores,
+		Events:    sink.events,
+		Normal:    normal.FinalStats(),
+		Migration: mig.FinalStats(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// spool checkpoints a drained run's machines into the spool directory,
+// in the exact EMCKPT1 format `emsim -resume` consumes. The file is
+// named by the request's content address, so repeated drains of the
+// same request overwrite one spool entry instead of accumulating.
+func (s *Service) spool(spec RunSpec, normal, mig *machine.Machine, events uint64) (string, error) {
+	ns, err := normal.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	ms, err := mig.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.SpoolDir, spec.Key()[:16]+".ckpt")
+	ck := &machine.Checkpoint{
+		Workload: spec.Workload,
+		Instr:    spec.Instr,
+		Cores:    spec.Cores,
+		Events:   events,
+		Machines: []machine.NamedSnapshot{
+			{Name: "normal", Snap: ns},
+			{Name: "migration", Snap: ms},
+		},
+	}
+	if err := machine.SaveCheckpoint(path, ck); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sweepJob executes one cold /sweep request. The sweep driver checks
+// the context between points, so cancellation is observed at point
+// granularity (points are short; /run carries the event-granularity
+// machinery).
+func (s *Service) sweepJob(ctx context.Context, spec SweepSpec) ([]byte, error) {
+	jobCtx, cancel := s.jobContext(ctx)
+	defer cancel()
+	points, err := report.SweepWorkingSetOpt(spec.Sizes, spec.Laps, spec.Cores,
+		report.RunOptions{Workers: 1, Context: jobCtx})
+	if err != nil {
+		if jobCtx.Err() != nil {
+			return nil, s.ctxError(ctx, "")
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.WriteSweepJSON(&buf, report.SweepResultJSON{
+		Cores:  spec.Cores,
+		Laps:   spec.Laps,
+		Points: points,
+	}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

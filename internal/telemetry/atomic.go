@@ -1,0 +1,54 @@
+package telemetry
+
+import "sync/atomic"
+
+// AtomicCounter and AtomicGauge are the service layer's metric
+// primitives. The Registry in this package is deliberately
+// single-goroutine (it belongs to one Machine on one pass); an HTTP
+// service admitting concurrent requests needs metrics that many
+// handler goroutines can touch at once. These are plain atomics — no
+// names, no registry — and the owner assembles them into a Snapshot
+// (the cross-goroutine publication unit) for telhttp.Live.
+//
+// The zero value of both types is ready to use.
+
+// AtomicCounter is a race-safe monotonic event counter (cache hits,
+// admissions, rejections).
+type AtomicCounter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *AtomicCounter) Value() uint64 { return c.v.Load() }
+
+// AtomicGauge is a race-safe up/down level (queue depth, in-flight
+// jobs).
+type AtomicGauge struct{ v atomic.Int64 }
+
+// Add adds delta (which may be negative) and returns the new level —
+// the shape admission control needs to bound a queue with one atomic
+// operation.
+func (g *AtomicGauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *AtomicGauge) Value() int64 { return g.v.Load() }
+
+// CounterValueOf renders a counter as a Snapshot entry.
+func CounterValueOf(name string, c *AtomicCounter) CounterValue {
+	return CounterValue{Name: name, Value: c.Value()}
+}
+
+// GaugeValueOf renders a gauge as a Snapshot entry. Gauges are levels,
+// not sums, but Snapshot's counter slot is the published-value channel;
+// negative transients clamp to zero.
+func GaugeValueOf(name string, g *AtomicGauge) CounterValue {
+	v := g.Value()
+	if v < 0 {
+		v = 0
+	}
+	return CounterValue{Name: name, Value: uint64(v)}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtomicCounterConcurrent: N goroutines of M increments land
+// exactly N*M (run under -race in CI).
+func TestAtomicCounterConcurrent(t *testing.T) {
+	var c AtomicCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if got := c.Value(); got != 8005 {
+		t.Fatalf("counter = %d, want 8005", got)
+	}
+}
+
+// TestAtomicGaugeAddReturnsLevel: Add returns the post-update level —
+// the single-operation admission check.
+func TestAtomicGaugeAddReturnsLevel(t *testing.T) {
+	var g AtomicGauge
+	if n := g.Add(1); n != 1 {
+		t.Fatalf("Add(1) = %d, want 1", n)
+	}
+	if n := g.Add(2); n != 3 {
+		t.Fatalf("Add(2) = %d, want 3", n)
+	}
+	if n := g.Add(-3); n != 0 {
+		t.Fatalf("Add(-3) = %d, want 0", n)
+	}
+}
+
+// TestSnapshotValues: counters and gauges render as Snapshot entries;
+// a negative gauge transient clamps to zero instead of wrapping.
+func TestSnapshotValues(t *testing.T) {
+	var c AtomicCounter
+	c.Add(7)
+	if cv := CounterValueOf("hits", &c); cv.Name != "hits" || cv.Value != 7 {
+		t.Fatalf("counter value = %+v", cv)
+	}
+	var g AtomicGauge
+	g.Add(-2)
+	if gv := GaugeValueOf("depth", &g); gv.Value != 0 {
+		t.Fatalf("negative gauge rendered %d, want 0", gv.Value)
+	}
+	g.Add(5)
+	if gv := GaugeValueOf("depth", &g); gv.Value != 3 {
+		t.Fatalf("gauge rendered %d, want 3", gv.Value)
+	}
+}

@@ -11,7 +11,9 @@
 package telhttp
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"sync"
 
@@ -20,14 +22,62 @@ import (
 
 // Live holds the last published snapshot per machine and implements
 // http.Handler. The zero value is not usable; call NewLive.
+//
+// Live can also own its listener: Start binds an address and serves the
+// handler in the background, and Shutdown closes the listener and waits
+// for in-flight responses — the run-teardown path, so a finished run
+// releases its port instead of holding it for the life of the process.
 type Live struct {
 	mu    sync.Mutex
 	snaps map[string]telemetry.Snapshot
+	srv   *http.Server // non-nil only between Start and Shutdown
 }
 
 // NewLive returns an empty publisher.
 func NewLive() *Live {
 	return &Live{snaps: make(map[string]telemetry.Snapshot)}
+}
+
+// Start binds addr (":0" picks a free port) and serves the live metrics
+// in a background goroutine until Shutdown. It returns the bound
+// address. Starting an already started Live is an error.
+func (l *Live) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	l.mu.Lock()
+	if l.srv != nil {
+		l.mu.Unlock()
+		ln.Close()
+		return "", errAlreadyStarted
+	}
+	srv := &http.Server{Handler: l}
+	l.srv = srv
+	l.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	return ln.Addr().String(), nil
+}
+
+var errAlreadyStarted = &startedError{}
+
+type startedError struct{}
+
+func (*startedError) Error() string { return "telhttp: Live already started" }
+
+// Shutdown stops the listener opened by Start and waits (up to ctx's
+// deadline) for in-flight responses to finish. On a Live that was never
+// started — e.g. one mounted on somebody else's mux — it is a no-op, so
+// teardown code can call it unconditionally.
+func (l *Live) Shutdown(ctx context.Context) error {
+	l.mu.Lock()
+	srv := l.srv
+	l.srv = nil
+	l.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 // Publish replaces the named machine's visible metrics. Snapshots are

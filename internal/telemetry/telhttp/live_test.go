@@ -1,10 +1,14 @@
 package telhttp
 
 import (
+	"context"
 	"encoding/json"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -61,6 +65,59 @@ func TestLiveSnapshotIsolation(t *testing.T) {
 	}
 	if _, ok := live.Snapshot("other"); ok {
 		t.Fatal("phantom machine")
+	}
+}
+
+// TestLiveStartShutdown: Start binds a real listener, the endpoint
+// answers over TCP, and Shutdown releases the port (the run-teardown
+// bugfix: the listener used to leak for the life of the process).
+func TestLiveStartShutdown(t *testing.T) {
+	live := NewLive()
+	reg := telemetry.NewRegistry()
+	reg.MustCounter("n").Add(7)
+	live.Publish("m", reg.Snapshot())
+
+	addr, err := live.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got["m"].Counters["n"] != 7 {
+		t.Fatalf("served %v", got)
+	}
+
+	// Starting twice must fail rather than leak a second listener.
+	if _, err := live.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := live.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The port is free again: a fresh listener can bind it.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after Shutdown: %v", err)
+	}
+	ln.Close()
+	// Shutdown on a never-started (or already shut down) Live is a no-op.
+	if err := live.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewLive().Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -39,6 +39,12 @@ const (
 	traceMagicV2 = "EMTRACE2"
 )
 
+// FormatVersion is the current trace/event-stream format version (the
+// one NewWriter emits). It participates in the service layer's cache
+// keys: a result computed from one event-stream encoding must never be
+// served for a request made under another.
+const FormatVersion = 2
+
 // Sentinel errors for damaged traces. Errors returned by Reader methods
 // match these with errors.Is; the full error carries the byte offset at
 // which the damage was detected.
