@@ -67,7 +67,21 @@ type SweepResult struct {
 	Laps       uint64  `json:"laps"`
 	SerialMs   float64 `json:"serial_ms"`
 	ParallelMs float64 `json:"parallel_ms"`
-	Speedup    float64 `json:"speedup"`
+	// Speedup is null on a single-CPU host: a serial/parallel ratio
+	// there measures scheduling overhead, and publishing it as a
+	// "speedup" would invite dashboards to chart a meaningless number.
+	// SpeedupNote says why the field is null.
+	Speedup     *float64 `json:"speedup"`
+	SpeedupNote string   `json:"speedup_note,omitempty"`
+}
+
+// speedupFor renders the serial/parallel ratio, or explains why not.
+func speedupFor(cpus int, serial, parallel time.Duration) (*float64, string) {
+	if cpus == 1 {
+		return nil, "single-CPU host: parallel cannot beat serial; ratio would measure scheduling overhead"
+	}
+	s := float64(serial) / float64(parallel)
+	return &s, ""
 }
 
 func main() {
@@ -117,12 +131,14 @@ func main() {
 			fail(fmt.Errorf("benchreport: sweep point %d diverged between serial and parallel", i))
 		}
 	}
+	speedup, note := speedupFor(rep.CPUs, serialDur, parallelDur)
 	rep.Sweep = SweepResult{
-		Points:     len(sizes),
-		Laps:       *laps,
-		SerialMs:   float64(serialDur.Microseconds()) / 1e3,
-		ParallelMs: float64(parallelDur.Microseconds()) / 1e3,
-		Speedup:    float64(serialDur) / float64(parallelDur),
+		Points:      len(sizes),
+		Laps:        *laps,
+		SerialMs:    float64(serialDur.Microseconds()) / 1e3,
+		ParallelMs:  float64(parallelDur.Microseconds()) / 1e3,
+		Speedup:     speedup,
+		SpeedupNote: note,
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

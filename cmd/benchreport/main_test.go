@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpeedupFor: multi-CPU hosts get the ratio; a single-CPU host gets
+// an explicit null plus the explanation, and the JSON renders that way.
+func TestSpeedupFor(t *testing.T) {
+	s, note := speedupFor(8, 2*time.Second, time.Second)
+	if s == nil || *s != 2 || note != "" {
+		t.Fatalf("8 cpus: %v, %q", s, note)
+	}
+
+	s, note = speedupFor(1, 2*time.Second, time.Second)
+	if s != nil || note == "" {
+		t.Fatalf("1 cpu: %v, %q", s, note)
+	}
+
+	b, err := json.Marshal(SweepResult{Points: 3, Laps: 2, Speedup: s, SpeedupNote: note})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"speedup":null`) || !strings.Contains(string(b), `"speedup_note"`) {
+		t.Fatalf("single-CPU JSON: %s", b)
+	}
+
+	b, err = json.Marshal(SweepResult{Speedup: func() *float64 { v := 1.5; return &v }()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"speedup":1.5`) || strings.Contains(string(b), "speedup_note") {
+		t.Fatalf("multi-CPU JSON: %s", b)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/service"
 )
@@ -18,8 +19,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("emsimc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8650", "emsimd address (host:port)")
+	retries := fs.Int("retries", 3, "retries after a transient failure (transport error, 429, 503); 0 = fail fast")
+	maxElapsed := fs.Duration("max-elapsed", 0, "total time budget across retries (0 = unbounded)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: emsimc [-addr host:port] run|sweep|metrics|health [flags]")
+		fmt.Fprintln(stderr, "usage: emsimc [-addr host:port] [-retries n] [-max-elapsed d] run|sweep|metrics|health|ready|live [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -30,16 +33,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	base := "http://" + *addr
+	pol := newRetryPolicy(*retries, *maxElapsed)
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "run":
-		return doRun(base, rest, stdout, stderr)
+		return doRun(base, rest, pol, stdout, stderr)
 	case "sweep":
-		return doSweep(base, rest, stdout, stderr)
+		return doSweep(base, rest, pol, stdout, stderr)
 	case "metrics":
 		return doGet(base+"/metrics", stdout, stderr)
 	case "health":
 		return doGet(base+"/healthz", stdout, stderr)
+	case "ready":
+		return doGet(base+"/readyz", stdout, stderr)
+	case "live":
+		return doGet(base+"/livez", stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "emsimc: unknown command %q\n", cmd)
 		fs.Usage()
@@ -48,7 +56,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 }
 
 // doRun POSTs one /run request built from flags.
-func doRun(base string, argv []string, stdout, stderr io.Writer) int {
+func doRun(base string, argv []string, pol *retryPolicy, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("emsimc run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var req service.RunRequest
@@ -59,11 +67,11 @@ func doRun(base string, argv []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
-	return doPost(base+"/run", req, stdout, stderr)
+	return doPost(base+"/run", req, pol, stdout, stderr)
 }
 
 // doSweep POSTs one /sweep request built from flags.
-func doSweep(base string, argv []string, stdout, stderr io.Writer) int {
+func doSweep(base string, argv []string, pol *retryPolicy, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("emsimc sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var req service.SweepRequest
@@ -84,28 +92,47 @@ func doSweep(base string, argv []string, stdout, stderr io.Writer) int {
 			req.Sizes = append(req.Sizes, n)
 		}
 	}
-	return doPost(base+"/sweep", req, stdout, stderr)
+	return doPost(base+"/sweep", req, pol, stdout, stderr)
 }
 
-// doPost sends one job request and streams the response following the
-// CLI contract: body to stdout on 200 (cache disposition on stderr),
-// body to stderr with exit 1 otherwise.
-func doPost(url string, req any, stdout, stderr io.Writer) int {
+// doPost sends one job request — retrying transient failures under the
+// policy — and streams the final response following the CLI contract:
+// body to stdout on 200 (cache disposition on stderr), body to stderr
+// with exit 1 otherwise.
+func doPost(url string, req any, pol *retryPolicy, stdout, stderr io.Writer) int {
 	body, err := json.Marshal(req)
 	if err != nil {
 		fmt.Fprintf(stderr, "emsimc: %v\n", err)
 		return 1
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintf(stderr, "emsimc: %v\n", err)
-		return 1
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			defer resp.Body.Close()
+			if disposition := resp.Header.Get(service.CacheHeader); disposition != "" {
+				fmt.Fprintf(stderr, "emsimc: cache %s\n", disposition)
+			}
+			return finish(resp, stdout, stderr)
+		}
+
+		// Transient failure: describe it, fold any Retry-After into the
+		// backoff, and go again if the budget allows.
+		var hint time.Duration
+		if err != nil {
+			fmt.Fprintf(stderr, "emsimc: %v\n", err)
+		} else {
+			hint, _ = parseRetryAfter(resp.Header.Get("Retry-After"), pol.now())
+			fmt.Fprintf(stderr, "emsimc: %s: ", resp.Status)
+			io.Copy(stderr, resp.Body) //nolint:errcheck // best-effort error relay
+			fmt.Fprintln(stderr)
+			resp.Body.Close()
+		}
+		if !pol.wait(attempt, hint) {
+			fmt.Fprintf(stderr, "emsimc: giving up after %d attempts\n", attempt+1)
+			return 1
+		}
+		fmt.Fprintf(stderr, "emsimc: retrying (%d/%d)\n", attempt+1, pol.retries)
 	}
-	defer resp.Body.Close()
-	if disposition := resp.Header.Get(service.CacheHeader); disposition != "" {
-		fmt.Fprintf(stderr, "emsimc: cache %s\n", disposition)
-	}
-	return finish(resp, stdout, stderr)
 }
 
 // doGet fetches a read-only endpoint.

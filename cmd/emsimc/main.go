@@ -4,15 +4,23 @@
 // is exactly what the e2e suite needs to diff service results against
 // the serial `emsim -json` CLI and to observe cache hits.
 //
+// Job requests (run, sweep) retry transient failures — transport
+// errors, 429 with its Retry-After honoured, and 503 — with
+// exponentially growing, fully jittered backoff, bounded by -retries
+// and -max-elapsed. Retrying is safe because requests are idempotent by
+// content address (see retry.go). Read-only requests (metrics, health,
+// ready, live) never retry: a probe wants the current answer, not a
+// later one.
+//
 // Usage:
 //
 //	emsimc -addr 127.0.0.1:8650 run -workload mst -instr 100000 -cores 4
-//	emsimc -addr 127.0.0.1:8650 sweep -sizes 1024,2048 -laps 2
+//	emsimc -addr 127.0.0.1:8650 -retries 5 -max-elapsed 2m sweep -sizes 1024,2048 -laps 2
 //	emsimc -addr 127.0.0.1:8650 metrics
-//	emsimc -addr 127.0.0.1:8650 health
+//	emsimc -addr 127.0.0.1:8650 health | ready | live
 //
 // Exit status: 0 on HTTP 200, 1 when the service answers an error or is
-// unreachable, 2 on usage errors.
+// unreachable (after retries, for jobs), 2 on usage errors.
 package main
 
 import "os"

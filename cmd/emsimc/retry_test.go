@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+)
+
+// TestParseRetryAfter: both header shapes parse, garbage does not, and
+// past dates clamp to zero.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"1", time.Second, true},
+		{"0", 0, true},
+		{"120", 2 * time.Minute, true},
+		{now.Add(3 * time.Second).Format(http.TimeFormat), 3 * time.Second, true},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true}, // past date: wait 0
+		{"", 0, false},
+		{"soon", 0, false},
+		{"-5", 0, false},
+		{"1.5", 0, false},
+	} {
+		got, ok := parseRetryAfter(tc.value, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.value, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// fakePolicy returns a deterministic policy that records sleeps instead
+// of performing them, on a virtual clock.
+func fakePolicy(retries int, maxElapsed time.Duration) (*retryPolicy, *[]time.Duration) {
+	var slept []time.Duration
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	p := &retryPolicy{
+		retries:    retries,
+		maxElapsed: maxElapsed,
+		backoff:    health.NewSeededBackoff(100*time.Millisecond, time.Second, 42),
+		sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			clock = clock.Add(d)
+		},
+		now: func() time.Time { return clock },
+	}
+	return p, &slept
+}
+
+// TestRetryPolicyHonorsServerHint: a Retry-After larger than the
+// jittered backoff becomes the floor of the wait.
+func TestRetryPolicyHonorsServerHint(t *testing.T) {
+	p, slept := fakePolicy(3, 0)
+	if !p.wait(0, 2*time.Second) {
+		t.Fatal("first retry refused")
+	}
+	if len(*slept) != 1 || (*slept)[0] < 2*time.Second {
+		t.Fatalf("slept %v, want >= 2s (server hint is a floor)", *slept)
+	}
+	// Without a hint the jittered delay stays inside the window.
+	if !p.wait(1, 0) {
+		t.Fatal("second retry refused")
+	}
+	if d := (*slept)[1]; d < 0 || d > 200*time.Millisecond {
+		t.Fatalf("attempt 1 delay %v outside [0, 200ms] window", d)
+	}
+}
+
+// TestRetryPolicyBudgets: the retry count and the elapsed budget both
+// terminate the loop.
+func TestRetryPolicyBudgets(t *testing.T) {
+	p, _ := fakePolicy(2, 0)
+	if !p.wait(0, 0) || !p.wait(1, 0) {
+		t.Fatal("retries within budget refused")
+	}
+	if p.wait(2, 0) {
+		t.Fatal("retry beyond -retries allowed")
+	}
+
+	p, slept := fakePolicy(10, 3*time.Second)
+	if !p.wait(0, time.Second) {
+		t.Fatal("retry within elapsed budget refused")
+	}
+	if p.wait(1, time.Hour) {
+		t.Fatal("retry that would blow -max-elapsed allowed")
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("refused retry still slept: %v", *slept)
+	}
+}
+
+// TestClientRetriesOn429: the client swallows 429s (honouring
+// Retry-After) until the service has room, then succeeds.
+func TestClientRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"queue full"}`)
+			return
+		}
+		w.Write([]byte(`{"done":true}`))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	code, out, stderr := runClient(t, "-addr", addr, "run", "-workload", "mst", "-instr", "1000")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, `"done":true`) {
+		t.Fatalf("stdout: %q", out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if !strings.Contains(stderr, "retrying (1/3)") || !strings.Contains(stderr, "retrying (2/3)") {
+		t.Fatalf("retries not narrated: %s", stderr)
+	}
+}
+
+// TestClientGivesUpAfterRetries: a persistently unavailable service
+// exhausts the budget and exits 1.
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"draining"}`)
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	code, _, stderr := runClient(t, "-addr", addr, "-retries", "1", "run", "-workload", "mst")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if calls.Load() != 2 { // initial attempt + 1 retry
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if !strings.Contains(stderr, "giving up after 2 attempts") {
+		t.Fatalf("stderr: %s", stderr)
+	}
+}
+
+// TestClientDoesNotRetryBadRequest: 400s are the caller's fault;
+// retrying them would never help.
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	addr := startService(t)
+	var calls atomic.Int64
+	// Count through a real service via a wrapping proxy handler? Simpler:
+	// a stub that answers 400 and counts.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"bad request"}`)
+	}))
+	defer srv.Close()
+	stubAddr := strings.TrimPrefix(srv.URL, "http://")
+
+	if code, _, _ := runClient(t, "-addr", stubAddr, "run", "-workload", "x"); code != 1 {
+		t.Fatal("400 did not exit 1")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d calls", calls.Load())
+	}
+	// And against the real service, the error body still reaches stderr.
+	code, _, stderr := runClient(t, "-addr", addr, "run", "-workload", "no-such-workload")
+	if code != 1 || !strings.Contains(stderr, "400") {
+		t.Fatalf("real 400: exit %d stderr %q", code, stderr)
+	}
+}
+
+// TestClientRetriesTransportError: a connection refused is transient
+// from the client's view (the daemon may be restarting) and is retried.
+func TestClientRetriesTransportError(t *testing.T) {
+	code, _, stderr := runClient(t, "-addr", "127.0.0.1:1", "-retries", "1", "run", "-workload", "mst")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "retrying (1/1)") || !strings.Contains(stderr, "giving up") {
+		t.Fatalf("transport error not retried: %s", stderr)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry/telhttp"
 )
 
@@ -28,19 +29,38 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 	fs := flag.NewFlagSet("emsimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8650", "listen address (host:port; port 0 picks a free one)")
-		workers = fs.Int("workers", 0, "concurrent simulation jobs (0 = all cores)")
-		queue   = fs.Int("queue", 16, "admitted requests that may wait for a worker (-1 = none: busy means 429)")
-		cache   = fs.Int("cache", 256, "result cache entries (-1 = disable caching)")
-		timeout = fs.Duration("timeout", 0, "default per-request deadline when the request carries none (0 = unlimited)")
-		spool   = fs.String("spool", "", "directory receiving checkpoints of jobs cancelled by drain")
-		drain   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight jobs finish before cancelling them")
+		addr     = fs.String("addr", "127.0.0.1:8650", "listen address (host:port; port 0 picks a free one)")
+		workers  = fs.Int("workers", 0, "concurrent simulation jobs (0 = all cores)")
+		queue    = fs.Int("queue", 16, "admitted requests that may wait for a worker (-1 = none: busy means 429)")
+		cache    = fs.Int("cache", 256, "result cache entries (-1 = disable caching)")
+		timeout  = fs.Duration("timeout", 0, "default per-request deadline when the request carries none (0 = unlimited)")
+		spool    = fs.String("spool", "", "directory receiving checkpoints of jobs cancelled by drain")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown lets in-flight jobs finish before cancelling them")
+		storeDir = fs.String("store-dir", "", "directory for the durable result store (results survive restarts; empty = memory cache only)")
+		durable  = fs.Bool("durability", false, "fsync every store write (O_SYNC): survives power loss, costs write latency")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "emsimd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Durable: *durable})
+		if err != nil {
+			fmt.Fprintf(stderr, "emsimd: opening store: %v\n", err)
+			return 1
+		}
+		if rep := st.Scan(); rep.Quarantined > 0 {
+			fmt.Fprintf(stderr, "emsimd: store scan quarantined %d corrupt entries (kept %d)\n",
+				rep.Quarantined, rep.Entries)
+		}
+	} else if *durable {
+		fmt.Fprintln(stderr, "emsimd: -durability requires -store-dir")
 		return 2
 	}
 
@@ -51,8 +71,24 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		SpoolDir:       *spool,
+		Store:          st,
 		Live:           live,
 	})
+
+	// Re-adopt checkpoints a previous drain spooled. Recovery runs in
+	// the background on the normal worker pool; /readyz reports
+	// unavailable until it finishes, while /run traffic is already
+	// accepted (first-result-wins arbitrates any overlap).
+	go func() {
+		rep := svc.Recover(context.Background())
+		if rep.Resumed > 0 || rep.Quarantined > 0 || len(rep.Errors) > 0 {
+			fmt.Fprintf(stderr, "emsimd: recovery: %d resumed, %d already done, %d respooled, %d quarantined, %d foreign\n",
+				rep.Resumed, rep.AlreadyDone, rep.Respooled, rep.Quarantined, rep.Foreign)
+		}
+		for _, err := range rep.Errors {
+			fmt.Fprintf(stderr, "emsimd: recovery: %v\n", err)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

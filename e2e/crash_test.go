@@ -1,0 +1,198 @@
+// Crash end-to-end tests: a real emsimd killed with SIGKILL (no
+// graceful path at all) around a durable result store, then restarted
+// over the same state. The acceptance contract: results computed before
+// the crash come back as cache hits byte-identical to the serial
+// `emsim -json`, corrupt store entries are quarantined and recomputed
+// rather than served, and work interrupted mid-run is re-adopted from
+// the spool and finished.
+package e2e
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// kill9 SIGKILLs the daemon — the crash, not the shutdown path.
+func kill9(t *testing.T, d *daemon) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// waitMetric polls /metrics until it contains want.
+func waitMetric(t *testing.T, d *daemon, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if metrics, _ := runCLI(t, "emsimc", "-addr", d.addr, "metrics"); strings.Contains(metrics, want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("metrics never showed %q:\n%s", want, d.stderrText())
+}
+
+// TestServiceStoreSurvivesKill: a result computed before a SIGKILL is
+// served by the restarted daemon as a cache hit, byte-identical to the
+// serial CLI — the in-memory cache died with the process, the store did
+// not.
+func TestServiceStoreSurvivesKill(t *testing.T) {
+	storeDir := t.TempDir()
+	serial, _ := runCLI(t, "emsim", "-json", "-workload", "mst", "-instr", "200000", "-cores", "4")
+	runArgs := []string{"run", "-workload", "mst", "-instr", "200000", "-cores", "4"}
+
+	a := startDaemon(t, "-store-dir", storeDir, "-durability")
+	cold, coldErr := runCLI(t, "emsimc", append([]string{"-addr", a.addr}, runArgs...)...)
+	if cold != serial {
+		t.Fatalf("pre-crash result diverged from serial CLI:\n%s\nvs\n%s", cold, serial)
+	}
+	if !strings.Contains(coldErr, "cache miss") {
+		t.Fatalf("cold stderr: %q", coldErr)
+	}
+	kill9(t, a)
+
+	b := startDaemon(t, "-store-dir", storeDir)
+	warm, warmErr := runCLI(t, "emsimc", append([]string{"-addr", b.addr}, runArgs...)...)
+	if !strings.Contains(warmErr, "cache hit") {
+		t.Fatalf("restarted daemon recomputed a stored result: %q", warmErr)
+	}
+	if warm != serial {
+		t.Fatalf("post-crash result diverged from serial CLI:\n%s\nvs\n%s", warm, serial)
+	}
+	metrics, _ := runCLI(t, "emsimc", "-addr", b.addr, "metrics")
+	if !strings.Contains(metrics, `"store_hits": 1`) {
+		t.Fatalf("store hit not visible in /metrics:\n%s", metrics)
+	}
+	// A clean (if abruptly killed) run quarantines nothing: every entry
+	// on disk was fully published by the atomic rename.
+	if !strings.Contains(metrics, `"store_quarantined": 0`) {
+		t.Fatalf("clean restart quarantined entries:\n%s", metrics)
+	}
+}
+
+// TestServiceQuarantineCorruptEntry: an entry corrupted on disk (the
+// torn write a kill -9 mid-write leaves) is quarantined at restart and
+// recomputed — the corrupt bytes are never served.
+func TestServiceQuarantineCorruptEntry(t *testing.T) {
+	storeDir := t.TempDir()
+	serial, _ := runCLI(t, "emsim", "-json", "-workload", "mst", "-instr", "200000", "-cores", "4")
+	runArgs := []string{"run", "-workload", "mst", "-instr", "200000", "-cores", "4"}
+
+	a := startDaemon(t, "-store-dir", storeDir)
+	runCLI(t, "emsimc", append([]string{"-addr", a.addr}, runArgs...)...)
+	kill9(t, a)
+
+	// Corrupt the stored entry in place and plant an orphaned temp file —
+	// the on-disk state a crash mid-write leaves behind.
+	entries, err := filepath.Glob(filepath.Join(storeDir, "*.res"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store entries %v (err %v), want exactly one", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphanKey := sha256.Sum256([]byte("torn"))
+	orphan := filepath.Join(storeDir, hex.EncodeToString(orphanKey[:])+".tmp42")
+	if err := os.WriteFile(orphan, []byte("half an entr"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := startDaemon(t, "-store-dir", storeDir)
+	if !strings.Contains(b.stderrText(), "quarantined 1 corrupt entr") {
+		t.Fatalf("startup scan did not report the quarantine:\n%s", b.stderrText())
+	}
+	got, gotErr := runCLI(t, "emsimc", append([]string{"-addr", b.addr}, runArgs...)...)
+	if strings.Contains(gotErr, "cache hit") {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got != serial {
+		t.Fatalf("recomputed result diverged from serial CLI:\n%s\nvs\n%s", got, serial)
+	}
+	// The corrupt original moved to quarantine, the orphan is gone, and
+	// the recomputed entry is back on disk.
+	q, _ := filepath.Glob(filepath.Join(storeDir, "quarantine", "*.res"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %v, want the one corrupt entry", q)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived the restart scan: %v", err)
+	}
+	metrics, _ := runCLI(t, "emsimc", "-addr", b.addr, "metrics")
+	if !strings.Contains(metrics, `"store_quarantined": 1`) {
+		t.Fatalf("quarantine not counted in /metrics:\n%s", metrics)
+	}
+}
+
+// TestServiceRecoveryResumesSpooledJob: SIGTERM drains a daemon with a
+// job mid-run (spooling the checkpoint); the restarted daemon re-adopts
+// the checkpoint, finishes the job, becomes ready, and serves the
+// result as a cache hit byte-identical to the serial CLI — the client
+// that lost its first request just retries.
+func TestServiceRecoveryResumesSpooledJob(t *testing.T) {
+	spool := t.TempDir()
+	storeDir := t.TempDir()
+	const workload, instr = "181.mcf", "30000000"
+	runArgs := []string{"run", "-workload", workload, "-instr", instr, "-cores", "4"}
+
+	a := startDaemon(t, "-spool", spool, "-store-dir", storeDir, "-workers", "1", "-drain-timeout", "200ms")
+	clientDone := make(chan int, 1)
+	go func() {
+		code, _, _ := runCLIExit(t, "emsimc", append([]string{"-addr", a.addr, "-retries", "0"}, runArgs...)...)
+		clientDone <- code
+	}()
+	waitMetric(t, a, `"service_inflight": 1`)
+	if code := a.terminate(t); code != 0 {
+		t.Fatalf("draining daemon exited %d:\n%s", code, a.stderrText())
+	}
+	if code := <-clientDone; code == 0 {
+		t.Fatal("client of the drained job exited 0")
+	}
+	if ckpts, _ := filepath.Glob(filepath.Join(spool, "*.ckpt")); len(ckpts) != 1 {
+		t.Fatalf("spool contents %v, want one checkpoint", ckpts)
+	}
+
+	b := startDaemon(t, "-spool", spool, "-store-dir", storeDir)
+	waitMetric(t, b, `"store_recovered_jobs": 1`)
+	if code, _, _ := runCLIExit(t, "emsimc", "-addr", b.addr, "ready"); code != 0 {
+		t.Fatal("daemon not ready after recovery")
+	}
+	if ckpts, _ := filepath.Glob(filepath.Join(spool, "*.ckpt")); len(ckpts) != 0 {
+		t.Fatalf("consumed checkpoint still in spool: %v", ckpts)
+	}
+
+	serial, _ := runCLI(t, "emsim", "-json", "-workload", workload, "-instr", instr, "-cores", "4")
+	got, gotErr := runCLI(t, "emsimc", append([]string{"-addr", b.addr}, runArgs...)...)
+	if !strings.Contains(gotErr, "cache hit") {
+		t.Fatalf("recovered result not served from cache: %q", gotErr)
+	}
+	if got != serial {
+		t.Fatalf("recovered result diverged from serial CLI:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// TestServiceProbesSplit: /livez and /readyz answer independently of
+// the legacy /healthz, and emsimc exposes both.
+func TestServiceProbesSplit(t *testing.T) {
+	d := startDaemon(t)
+	for _, sub := range []string{"live", "ready", "health"} {
+		code, out, stderr := runCLIExit(t, "emsimc", "-addr", d.addr, sub)
+		if code != 0 || !strings.Contains(out, `"ok"`) {
+			t.Fatalf("%s: exit %d out %q stderr %q", sub, code, out, stderr)
+		}
+	}
+	if code := d.terminate(t); code != 0 {
+		t.Fatalf("daemon exited %d", code)
+	}
+}

@@ -30,6 +30,13 @@ const (
 	// legitimately skip: configuration, derived values rebuilt on
 	// restore, or scratch space with no cross-call state.
 	DirNoSnapshot = "nosnapshot"
+	// DirWallclock marks a reviewed wall-clock read in a
+	// result-producing package: a use of time.Now/time.Since whose value
+	// provably never feeds a simulation result (e.g. seeding client
+	// retry jitter, which *must* differ across processes). The reason is
+	// mandatory in review, so the annotation documents why the read is
+	// outside the determinism boundary.
+	DirWallclock = "wallclock"
 )
 
 const dirPrefix = "//emlint:"

@@ -25,7 +25,9 @@ declared outside the loop — iteration order then escapes into results;
 annotate a reviewed order-independent loop with //emlint:ordered.
 (2) any use of the global math/rand package (use the seeded
 repro/internal/trace.RNG) and of time.Now/time.Since (results must not
-depend on wall-clock time). (3) writes from a go-statement closure to
+depend on wall-clock time); a reviewed read whose value never feeds a
+result — retry-jitter seeding, say — is annotated
+//emlint:wallclock <reason>. (3) writes from a go-statement closure to
 captured variables that are not indexed by a variable local to the
 goroutine — the one sanctioned pattern is results[i] = r with i a
 per-job index.`,
@@ -159,8 +161,11 @@ func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
 			id.Name, sel.Sel.Name)
 	case "time":
 		if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			if pass.Directives.OnLineOrAbove(pass.Fset, sel, analysis.DirWallclock) {
+				return
+			}
 			pass.Reportf(sel.Pos(),
-				"use of time.%s in a result-producing package; results must not depend on wall-clock time",
+				"use of time.%s in a result-producing package; results must not depend on wall-clock time (reviewed non-result reads: //emlint:wallclock <reason>)",
 				sel.Sel.Name)
 		}
 	}

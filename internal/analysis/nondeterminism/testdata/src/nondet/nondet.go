@@ -91,6 +91,26 @@ func Budget(d time.Duration) time.Duration {
 	return d * 2
 }
 
+// SeedJitter is a reviewed non-result wall-clock read: the annotation
+// on the line above exempts it.
+func SeedJitter() uint64 {
+	//emlint:wallclock retry jitter must differ across processes; never feeds a result
+	return uint64(time.Now().UnixNano())
+}
+
+// SeedJitterTrailing carries the annotation as a trailing comment.
+func SeedJitterTrailing() int64 {
+	return time.Now().UnixNano() //emlint:wallclock reviewed: seeds de-synchronisation only
+}
+
+// StampAnnotatedElsewhere shows the annotation does not leak past its
+// line: a wallclock directive two lines up exempts nothing.
+func StampAnnotatedElsewhere() int64 {
+	//emlint:wallclock misplaced
+
+	return time.Now().UnixNano() // want `use of time.Now in a result-producing package`
+}
+
 // Fill shows the sanctioned job-indexed result write next to two racy
 // captured writes.
 func Fill(jobs []int) []int {

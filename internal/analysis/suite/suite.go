@@ -6,7 +6,8 @@
 //   - nondeterminism: the result-producing packages whose output the
 //     byte-identical -j contract covers (report, runner, machine,
 //     affinity — cmd/ is excluded: benchreport legitimately reads the
-//     wall clock to time benchmark sections);
+//     wall clock to time benchmark sections); reviewed non-result
+//     wall-clock reads inside the patrol carry //emlint:wallclock;
 //   - snapshotcomplete and hotpath: every package (they trigger only
 //     on snapshot pairs and annotations respectively);
 //   - nopanic: library packages under internal/ (commands may panic
@@ -37,13 +38,18 @@ var All = []*analysis.Analyzer{
 // resultPackages are the packages whose outputs feed tables, figures
 // and experiment results — the determinism contract's surface. The
 // service layer is included because its content-addressed cache is only
-// sound while its job bodies stay deterministic.
+// sound while its job bodies stay deterministic; the store and health
+// packages because they sit on the result path (stored bytes are served
+// as results, and the backoff jitter lives next to probe code — its one
+// sanctioned time.Now read is annotated //emlint:wallclock).
 var resultPackages = map[string]bool{
 	ModulePath + "/internal/report":   true,
 	ModulePath + "/internal/runner":   true,
 	ModulePath + "/internal/machine":  true,
 	ModulePath + "/internal/affinity": true,
 	ModulePath + "/internal/service":  true,
+	ModulePath + "/internal/store":    true,
+	ModulePath + "/internal/health":   true,
 }
 
 // InModule reports whether pkgPath belongs to this module (and is not

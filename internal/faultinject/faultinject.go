@@ -1,8 +1,12 @@
 // Package faultinject provides deterministic fault injection for the
-// simulation pipeline: a mem.Sink wrapper that corrupts the reference
-// stream (address bit-flips, dropped and duplicated records) and an
-// affinity.Table wrapper with stuck-at entries. Both are seeded, so a
-// faulty run is exactly reproducible.
+// simulation pipeline and the service's disk path: a mem.Sink wrapper
+// that corrupts the reference stream (address bit-flips, dropped and
+// duplicated records), an affinity.Table wrapper with stuck-at
+// entries, and a store.FS wrapper that fails writes, truncates them
+// short, refuses renames at the torn-write crash point, and slows the
+// disk (fs.go). The stream and table injectors are seeded, so a faulty
+// run is exactly reproducible; the FS injector uses counted budgets,
+// so a crash test can pin the exact operation that fails.
 //
 // The point is robustness testing of §3's claim that the affinity
 // algorithm degrades smoothly: a rare corrupted input must shift a few

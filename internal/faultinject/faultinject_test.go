@@ -189,3 +189,74 @@ func TestMachineUnderFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestStuckTableConstruction: the table-path argument checks — the
+// previously uncovered half of the stuck-at machinery.
+func TestStuckTableConstruction(t *testing.T) {
+	if _, err := NewStuckTable(nil, 4, 0); err == nil {
+		t.Error("nil inner table accepted")
+	}
+	if _, err := NewStuckTable(affinity.NewUnbounded(), 0, 0); err == nil {
+		t.Error("StuckOneIn=0 accepted")
+	}
+	if _, err := NewStuckTable(affinity.NewUnbounded(), 1, 0); err != nil {
+		t.Errorf("StuckOneIn=1 rejected: %v", err)
+	}
+}
+
+// TestStuckTableSelection: stuck entries answer StuckOe and swallow
+// stores while healthy entries pass through to the inner table, and
+// StuckOneIn=1 sticks every line.
+func TestStuckTableSelection(t *testing.T) {
+	inner := affinity.NewUnbounded()
+	tab, err := NewStuckTable(inner, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stuckLine, healthyLine mem.Line
+	foundStuck, foundHealthy := false, false
+	for l := mem.Line(0); l < 10_000 && !(foundStuck && foundHealthy); l++ {
+		if tab.stuck(l) {
+			if !foundStuck {
+				stuckLine, foundStuck = l, true
+			}
+		} else if !foundHealthy {
+			healthyLine, foundHealthy = l, true
+		}
+	}
+	if !foundStuck || !foundHealthy {
+		t.Fatalf("line population degenerate: stuck=%v healthy=%v", foundStuck, foundHealthy)
+	}
+
+	tab.Store(stuckLine, 5)
+	if oe, ok := tab.Lookup(stuckLine); !ok || oe != 99 {
+		t.Fatalf("stuck lookup = %d, %v; want pinned 99", oe, ok)
+	}
+	if tab.DroppedStores == 0 || tab.Lookups == 0 {
+		t.Fatalf("stuck accounting not advanced: %+v", tab)
+	}
+	if _, ok := inner.Lookup(stuckLine); ok {
+		t.Fatal("store to a stuck line reached the inner table")
+	}
+
+	tab.Store(healthyLine, 7)
+	if oe, ok := tab.Lookup(healthyLine); !ok || oe != 7 {
+		t.Fatalf("healthy lookup = %d, %v; want stored 7", oe, ok)
+	}
+	if oe, ok := inner.Lookup(healthyLine); !ok || oe != 7 {
+		t.Fatalf("healthy store did not reach inner table: %d, %v", oe, ok)
+	}
+
+	all, err := NewStuckTable(affinity.NewUnbounded(), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := mem.Line(0); l < 128; l++ {
+		if oe, ok := all.Lookup(l); !ok || oe != 3 {
+			t.Fatalf("StuckOneIn=1 line %d not stuck: %d, %v", l, oe, ok)
+		}
+	}
+	if all.Lookups != 128 {
+		t.Fatalf("lookup count %d, want 128", all.Lookups)
+	}
+}

@@ -1,0 +1,220 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file extends fault injection from the simulation pipeline to the
+// service's disk path: FaultFS wraps a store.FS and injects the failure
+// modes a durable store must survive — write errors, short writes, the
+// torn-rename crash point, and slow disks. Faults here are counted
+// budgets rather than seeded probabilities: a crash test needs "the
+// rename of the third put fails", not "renames fail 1% of the time".
+
+// Injected fault sentinels, distinguishable from real filesystem
+// errors with errors.Is.
+var (
+	ErrInjectedWrite  = errors.New("faultinject: injected write error")
+	ErrInjectedRename = errors.New("faultinject: injected rename error")
+	ErrInjectedSync   = errors.New("faultinject: injected sync error")
+)
+
+// FSConfig parameterises the injected disk faults. The zero value
+// injects nothing.
+type FSConfig struct {
+	// FailWrites arms the write budget: once WriteBudget bytes have
+	// been written, every further write fails with ErrInjectedWrite
+	// (WriteBudget 0 = the very first write fails).
+	FailWrites bool
+	// WriteBudget is how many bytes may be written before the armed
+	// write fault fires.
+	WriteBudget int64
+	// ShortWrite makes the budget-exhausting write report full success
+	// while persisting only the bytes that fit — the classic torn-write
+	// disk lie. Without it, the exhausting write fails loudly.
+	ShortWrite bool
+	// FailRenames arms the rename fault: after RenameBudget successful
+	// renames, every rename fails with ErrInjectedRename — the crash
+	// point between a fully written temp file and its publication
+	// (RenameBudget 0 = the very first rename fails).
+	FailRenames bool
+	// RenameBudget is how many renames succeed before the armed rename
+	// fault fires.
+	RenameBudget int64
+	// FailSync makes File.Sync fail with ErrInjectedSync.
+	FailSync bool
+	// OpDelay is added to every filesystem operation (slow-disk
+	// latency injection).
+	OpDelay time.Duration
+}
+
+// FSCounts reports what the fault FS actually did.
+type FSCounts struct {
+	Writes        uint64 // Write calls offered
+	WriteFailures uint64
+	ShortWrites   uint64
+	Renames       uint64 // rename calls offered
+	RenameFails   uint64
+	SyncFails     uint64
+}
+
+// FaultFS wraps a store.FS, injecting the configured faults. Safe for
+// concurrent use (budgets are under one mutex).
+type FaultFS struct {
+	inner store.FS
+	cfg   FSConfig
+
+	mu          sync.Mutex
+	writeSpent  int64
+	renameSpent int64
+	counts      FSCounts
+}
+
+// NewFS wraps inner with fault injection. A nil inner uses the real
+// filesystem.
+func NewFS(inner store.FS, cfg FSConfig) *FaultFS {
+	if inner == nil {
+		inner = store.OSFS{}
+	}
+	return &FaultFS{inner: inner, cfg: cfg}
+}
+
+// Counts returns the faults injected so far.
+func (f *FaultFS) Counts() FSCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// delay applies the slow-disk latency.
+func (f *FaultFS) delay() {
+	if f.cfg.OpDelay > 0 {
+		time.Sleep(f.cfg.OpDelay)
+	}
+}
+
+// admitWrite charges n bytes against the write budget, returning how
+// many bytes may actually be written and whether the write must fail.
+func (f *FaultFS) admitWrite(n int) (allowed int, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts.Writes++
+	if !f.cfg.FailWrites {
+		return n, false
+	}
+	remaining := f.cfg.WriteBudget - f.writeSpent
+	if remaining >= int64(n) {
+		f.writeSpent += int64(n)
+		return n, false
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	f.writeSpent += remaining
+	if f.cfg.ShortWrite {
+		f.counts.ShortWrites++
+		return int(remaining), false
+	}
+	f.counts.WriteFailures++
+	return int(remaining), true
+}
+
+// OpenFile implements store.FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	f.delay()
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// ReadFile implements store.FS (reads are not faulted: corruption on
+// the read path is exercised by editing entry bytes directly).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.delay()
+	return f.inner.ReadFile(name)
+}
+
+// Rename implements store.FS, honouring the rename budget — the torn
+// crash point: by the time Rename is called the temp file is complete,
+// so a failure here models dying between write and publish.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.delay()
+	f.mu.Lock()
+	f.counts.Renames++
+	fail := f.cfg.FailRenames && f.renameSpent >= f.cfg.RenameBudget
+	if fail {
+		f.counts.RenameFails++
+	} else {
+		f.renameSpent++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedRename
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FaultFS) Remove(name string) error {
+	f.delay()
+	return f.inner.Remove(name)
+}
+
+// MkdirAll implements store.FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	f.delay()
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements store.FS.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	f.delay()
+	return f.inner.ReadDir(name)
+}
+
+var _ store.FS = (*FaultFS)(nil)
+
+// faultFile is the faulted write handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner store.File
+}
+
+// Write implements store.File under the write budget. A short write
+// reports len(p) success while persisting a prefix; a failed write
+// persists the admitted prefix and returns ErrInjectedWrite.
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.delay()
+	allowed, fail := f.fs.admitWrite(len(p))
+	if allowed > 0 {
+		if n, err := f.inner.Write(p[:allowed]); err != nil {
+			return n, err
+		}
+	}
+	if fail {
+		return allowed, ErrInjectedWrite
+	}
+	return len(p), nil
+}
+
+// Sync implements store.File.
+func (f *faultFile) Sync() error {
+	f.fs.delay()
+	if f.fs.cfg.FailSync {
+		f.fs.mu.Lock()
+		f.fs.counts.SyncFails++
+		f.fs.mu.Unlock()
+		return ErrInjectedSync
+	}
+	return f.inner.Sync()
+}
+
+// Close implements store.File.
+func (f *faultFile) Close() error { return f.inner.Close() }

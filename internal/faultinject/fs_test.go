@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func fsKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+// openFaulted roots a store on a faulted filesystem. The store is
+// opened on a clean FS first so directory creation is never the thing
+// that fails.
+func openFaulted(t *testing.T, dir string, cfg FSConfig) (*store.Store, *FaultFS) {
+	t.Helper()
+	if _, err := store.Open(dir, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFS(nil, cfg)
+	s, err := store.Open(dir, store.Options{FS: ffs, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ffs
+}
+
+// reopenClean re-opens the same directory on the real filesystem — the
+// "restart after the fault" step of every crash test.
+func reopenClean(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFSWriteErrorLeavesNoEntry: a write that fails mid-entry must
+// surface as a Put error and leave nothing a Get or a restart scan
+// could mistake for a result.
+func TestFSWriteErrorLeavesNoEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulted(t, dir, FSConfig{FailWrites: true, WriteBudget: 10})
+	key := fsKey("write-error")
+	err := s.Put(key, []byte("a result body longer than the ten-byte budget"))
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("Put under write fault: %v", err)
+	}
+	if ffs.Counts().WriteFailures == 0 {
+		t.Fatal("write failure not counted")
+	}
+	if _, err := s.Get(key); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("failed put left a readable entry: %v", err)
+	}
+	s2 := reopenClean(t, dir)
+	if rep := s2.Scan(); rep.Entries != 0 || rep.Quarantined != 0 {
+		t.Fatalf("restart scan after failed write: %+v", rep)
+	}
+}
+
+// TestFSShortWriteDetectedOnRestart: a disk that silently truncates the
+// entry (short write, then crash before the store can notice) must
+// yield a quarantined entry on the restart scan — detected, never
+// served.
+func TestFSShortWriteDetectedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulted(t, dir, FSConfig{FailWrites: true, WriteBudget: 20, ShortWrite: true})
+	key := fsKey("short-write")
+	// The short write lies: Put sees full success and publishes the
+	// truncated entry — exactly the torn state a real crash leaves.
+	if err := s.Put(key, bytes.Repeat([]byte("x"), 256)); err != nil {
+		t.Fatalf("short write was supposed to lie quietly: %v", err)
+	}
+	if ffs.Counts().ShortWrites == 0 {
+		t.Fatal("short write not counted")
+	}
+	s2 := reopenClean(t, dir)
+	rep := s2.Scan()
+	if rep.Quarantined != 1 || rep.Entries != 0 {
+		t.Fatalf("restart scan after short write: %+v", rep)
+	}
+	if _, err := s2.Get(key); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("torn entry served after restart: %v", err)
+	}
+}
+
+// TestFSTornRenameCrashPoint: a failure between the temp-file write and
+// the rename (the torn-rename crash point) fails the Put without
+// publishing anything; after a restart the store is intact and the put
+// is cleanly retryable.
+func TestFSTornRenameCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFaulted(t, dir, FSConfig{FailRenames: true})
+	key := fsKey("torn-rename")
+	if err := s.Put(key, []byte("fully written, never published")); !errors.Is(err, ErrInjectedRename) {
+		t.Fatalf("Put under rename fault: %v", err)
+	}
+	if ffs.Counts().RenameFails == 0 {
+		t.Fatal("rename failure not counted")
+	}
+	s2 := reopenClean(t, dir)
+	rep := s2.Scan()
+	if rep.Entries != 0 || rep.Quarantined != 0 {
+		t.Fatalf("restart scan after torn rename: %+v", rep)
+	}
+	// The put is retryable once the disk heals: same key, same bytes.
+	if err := s2.Put(key, []byte("fully written, never published")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(key); err != nil || string(got) != "fully written, never published" {
+		t.Fatalf("healed retry: %q, %v", got, err)
+	}
+}
+
+// TestFSRenameBudget: the Nth rename fails while the first N succeed —
+// the knob that places the crash between two specific puts.
+func TestFSRenameBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openFaulted(t, dir, FSConfig{FailRenames: true, RenameBudget: 1})
+	if err := s.Put(fsKey("survives"), []byte("one")); err != nil {
+		t.Fatalf("first put under budget: %v", err)
+	}
+	if err := s.Put(fsKey("crashes"), []byte("two")); !errors.Is(err, ErrInjectedRename) {
+		t.Fatalf("second put: %v", err)
+	}
+	s2 := reopenClean(t, dir)
+	if s2.Scan().Entries != 1 {
+		t.Fatalf("scan: %+v", s2.Scan())
+	}
+}
+
+// TestFSSyncFailure: a durable store surfaces fsync errors instead of
+// pretending the entry is on disk.
+func TestFSSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openFaulted(t, dir, FSConfig{FailSync: true})
+	if err := s.Put(fsKey("sync"), []byte("body")); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("Put under sync fault: %v", err)
+	}
+	if reopenClean(t, dir).Scan().Entries != 0 {
+		t.Fatal("failed sync still published an entry")
+	}
+}
+
+// TestFSSlowDisk: latency injection delays operations without changing
+// results.
+func TestFSSlowDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openFaulted(t, dir, FSConfig{OpDelay: 2 * time.Millisecond})
+	key := fsKey("slow")
+	start := time.Now()
+	if err := s.Put(key, []byte("unhurried")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(key); err != nil || string(got) != "unhurried" {
+		t.Fatalf("slow disk changed bytes: %q, %v", got, err)
+	}
+	// Put is open+write+sync+rename and Get one read: at least five
+	// delayed ops.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+}

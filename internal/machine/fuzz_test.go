@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"repro/internal/store"
 )
 
 // goldenCheckpointBytes builds a corpus of real EMCKPT1 files: both
@@ -67,6 +69,15 @@ func goldenCheckpointBytes(f *testing.F) [][]byte {
 		[]byte("EMCKPT1\n"),
 		[]byte("NOTACKPT"),
 		[]byte{},
+	)
+	// Sibling-format seeds: valid EMSTORE1 result-store entries (same
+	// magic+uvarint+payload+trailer family, different magic and checksum)
+	// must be rejected by the checkpoint reader, not misparsed — the two
+	// formats share directories in crashed-daemon debugging sessions.
+	seeds = append(seeds,
+		store.EncodeEntry([]byte(`{"workload":"mst","events":42}`)),
+		store.EncodeEntry(nil),
+		store.EncodeEntry(full), // a checkpoint wrapped in a store entry
 	)
 	return seeds
 }

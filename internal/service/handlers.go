@@ -39,7 +39,9 @@ const maxRequestBody = 1 << 20
 //
 //	POST /run     one workload run         -> report.RunResultJSON
 //	POST /sweep   working-set sweep        -> report.SweepResultJSON
-//	GET  /healthz liveness + drain state   -> {"status":"ok"|"draining"}
+//	GET  /healthz legacy liveness + drain state -> {"status":"ok"|"draining"}
+//	GET  /livez   liveness probe (restart-worthy failures only)
+//	GET  /readyz  readiness probe (drain, spool recovery, store writability)
 //	GET  /metrics live service + machine metrics (telhttp.Live)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -74,6 +76,8 @@ func (s *Service) Handler() http.Handler {
 		}
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
+	mux.Handle("/livez", s.livez.Handler())
+	mux.Handle("/readyz", s.readyz.Handler())
 	if s.cfg.Live != nil {
 		mux.Handle("/metrics", s.cfg.Live)
 	}

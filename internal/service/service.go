@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/health"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/telhttp"
 )
@@ -31,8 +34,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// SpoolDir, when set, receives EMCKPT1 checkpoint files for /run
 	// jobs cancelled by drain, so interrupted work is resumable with
-	// `emsim -resume` instead of discarded.
+	// `emsim -resume` instead of discarded. At startup, Recover re-adopts
+	// spooled checkpoints and runs them to completion. When SpoolDir is
+	// set the service is not ready (readiness probe "recovery") until
+	// Recover has been called and has finished.
 	SpoolDir string
+	// Store, when non-nil, is the durable write-through layer behind the
+	// in-memory cache: every computed result is persisted to it, and a
+	// memory-cache miss consults it before scheduling a simulation — so
+	// results survive a restart (and answer with a cache hit) even though
+	// the in-memory cache starts cold.
+	Store *store.Store
 	// Live, when non-nil, receives the service metrics snapshot (cache
 	// hits/misses, queue depth, in-flight jobs) after every state
 	// change, for the /metrics endpoint.
@@ -50,6 +62,11 @@ type Metrics struct {
 	CacheMisses telemetry.AtomicCounter
 	QueueDepth  telemetry.AtomicGauge // admitted requests waiting for a slot
 	InFlight    telemetry.AtomicGauge // jobs holding a slot right now
+
+	StoreHits     telemetry.AtomicCounter // results served from the durable store
+	StoreErrors   telemetry.AtomicCounter // store reads/writes that failed (result still served)
+	RecoveredJobs telemetry.AtomicCounter // spooled checkpoints resumed to completion
+	Quarantined   telemetry.AtomicCounter // corrupt store entries + spool checkpoints set aside
 }
 
 // Snapshot renders the metrics in a fixed registration-like order, the
@@ -64,6 +81,10 @@ func (m *Metrics) Snapshot() telemetry.Snapshot {
 		telemetry.CounterValueOf("service_cache_misses", &m.CacheMisses),
 		telemetry.GaugeValueOf("service_queue_depth", &m.QueueDepth),
 		telemetry.GaugeValueOf("service_inflight", &m.InFlight),
+		telemetry.CounterValueOf("store_hits", &m.StoreHits),
+		telemetry.CounterValueOf("store_errors", &m.StoreErrors),
+		telemetry.CounterValueOf("store_recovered_jobs", &m.RecoveredJobs),
+		telemetry.CounterValueOf("store_quarantined", &m.Quarantined),
 	}}
 }
 
@@ -111,6 +132,14 @@ type Service struct {
 	// observe it at event granularity, checkpoint, and exit.
 	jobsCtx    context.Context
 	cancelJobs context.CancelFunc
+
+	// recoveryDone flips once spool recovery has finished (immediately,
+	// when there is no spool directory). Until then the readiness probe
+	// reports unavailable, so a load balancer keeps traffic away while
+	// the service is still replaying interrupted work.
+	recoveryDone atomic.Bool
+
+	livez, readyz *health.Checker
 }
 
 // New builds a Service from cfg, applying defaults.
@@ -139,6 +168,46 @@ func New(cfg Config) *Service {
 		jobsCtx:    jobsCtx,
 		cancelJobs: cancel,
 	}
+	if cfg.SpoolDir == "" {
+		s.recoveryDone.Store(true)
+	}
+	if cfg.Store != nil {
+		// Entries the startup scan quarantined are part of this service's
+		// durability story even though the scan ran before New.
+		s.metrics.Quarantined.Add(uint64(cfg.Store.Scan().Quarantined))
+	}
+
+	// Liveness is "the process can still answer": a failing probe here
+	// means restart-worthy, so only wiring-level checks belong.
+	s.livez = health.NewChecker()
+	s.livez.Register("serving", func() error { return nil })
+
+	// Readiness is "send this instance traffic": drain, unfinished spool
+	// recovery, and an unwritable store directory are all route-away
+	// conditions that resolve without a restart.
+	s.readyz = health.NewChecker()
+	s.readyz.Register("admitting", func() error {
+		if s.Draining() {
+			return health.Failf("draining")
+		}
+		return nil
+	})
+	s.readyz.Register("worker_pool", func() error {
+		if s.metrics.QueueDepth.Value() >= s.queueCap && s.queueCap > 0 {
+			return health.Failf("admission queue full (%d waiting)", s.queueCap)
+		}
+		return nil
+	})
+	s.readyz.Register("recovery", func() error {
+		if !s.recoveryDone.Load() {
+			return health.Failf("spool recovery in progress")
+		}
+		return nil
+	})
+	if cfg.Store != nil {
+		s.readyz.Register("store", func() error { return cfg.Store.CheckWritable() })
+	}
+
 	// Publish the zero snapshot so /metrics shows the full counter shape
 	// from boot, not only after the first request.
 	s.publish()
@@ -228,9 +297,7 @@ func (s *Service) Run(ctx context.Context, spec RunSpec) (body []byte, cached bo
 		return nil, false, &BadRequestError{err}
 	}
 	key := spec.Key()
-	if b, ok := s.cache.get(key); ok {
-		s.metrics.CacheHits.Inc()
-		s.publish()
+	if b, ok := s.lookup(key); ok {
 		return b, true, nil
 	}
 	s.metrics.CacheMisses.Inc()
@@ -245,7 +312,7 @@ func (s *Service) Run(ctx context.Context, spec RunSpec) (body []byte, cached bo
 		return nil, false, err
 	}
 	s.metrics.Completed.Inc()
-	s.cache.put(key, b)
+	s.remember(key, b)
 	return b, false, nil
 }
 
@@ -259,9 +326,7 @@ func (s *Service) Sweep(ctx context.Context, spec SweepSpec) (body []byte, cache
 		return nil, false, &BadRequestError{err}
 	}
 	key := spec.Key()
-	if b, ok := s.cache.get(key); ok {
-		s.metrics.CacheHits.Inc()
-		s.publish()
+	if b, ok := s.lookup(key); ok {
 		return b, true, nil
 	}
 	s.metrics.CacheMisses.Inc()
@@ -276,8 +341,60 @@ func (s *Service) Sweep(ctx context.Context, spec SweepSpec) (body []byte, cache
 		return nil, false, err
 	}
 	s.metrics.Completed.Inc()
-	s.cache.put(key, b)
+	s.remember(key, b)
 	return b, false, nil
+}
+
+// lookup consults the result layers in speed order: the in-memory
+// cache, then the durable store. A store hit re-populates the memory
+// cache, so a restarted service answers the second request for a key
+// without touching the disk again.
+func (s *Service) lookup(key string) ([]byte, bool) {
+	if b, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Inc()
+		s.publish()
+		return b, true
+	}
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	b, err := s.cfg.Store.Get(key)
+	switch {
+	case err == nil:
+		s.metrics.CacheHits.Inc()
+		s.metrics.StoreHits.Inc()
+		s.cache.put(key, b)
+		s.publish()
+		return b, true
+	case errors.Is(err, store.ErrNotFound):
+		return nil, false
+	default:
+		// A corrupt entry was quarantined inside Get; either way the
+		// request falls through to a fresh computation — a store problem
+		// costs time, never a wrong byte.
+		var corrupt *store.CorruptEntryError
+		if errors.As(err, &corrupt) {
+			s.metrics.Quarantined.Inc()
+		} else {
+			s.metrics.StoreErrors.Inc()
+		}
+		s.publish()
+		return nil, false
+	}
+}
+
+// remember records a freshly computed result in both layers. A store
+// write failure is counted but not surfaced: the result in hand is
+// correct and the client gets it; only its durability is degraded.
+func (s *Service) remember(key string, b []byte) {
+	s.cache.put(key, b)
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Put(key, b); err != nil {
+		s.metrics.StoreErrors.Inc()
+		s.publish()
+	}
 }
 
 // Draining reports whether drain has begun (the /healthz signal).

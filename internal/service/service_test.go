@@ -274,6 +274,7 @@ func TestMetricsSnapshotShape(t *testing.T) {
 	want := []string{
 		"service_admitted", "service_rejected", "service_completed", "service_cancelled",
 		"service_cache_hits", "service_cache_misses", "service_queue_depth", "service_inflight",
+		"store_hits", "store_errors", "store_recovered_jobs", "store_quarantined",
 	}
 	if len(snap.Counters) != len(want) {
 		t.Fatalf("snapshot has %d counters, want %d", len(snap.Counters), len(want))

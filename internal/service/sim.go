@@ -27,23 +27,32 @@ type stopJob struct{}
 
 // jobSink tees one event stream into both machines, numbers events, and
 // aborts when the job's stop flag flips (context deadline or drain).
+// skip is the resume fast-forward: the first skip events are counted but
+// not delivered, exactly as emsim's ckptSink does it, so a recovered job
+// replays the deterministic input from the checkpointed event onward and
+// finishes byte-identical to an uninterrupted run.
 type jobSink struct {
 	normal, mig mem.Sink
-	events      uint64
+	events      uint64 // events seen, including the skipped resume prefix
+	skip        uint64
 	stop        *atomic.Bool
 }
 
 func (j *jobSink) Access(addr mem.Addr, kind mem.Kind) {
 	j.events++
-	j.normal.Access(addr, kind)
-	j.mig.Access(addr, kind)
+	if j.events > j.skip {
+		j.normal.Access(addr, kind)
+		j.mig.Access(addr, kind)
+	}
 	j.checkStop()
 }
 
 func (j *jobSink) Instr(n uint64) {
 	j.events++
-	j.normal.Instr(n)
-	j.mig.Instr(n)
+	if j.events > j.skip {
+		j.normal.Instr(n)
+		j.mig.Instr(n)
+	}
 	j.checkStop()
 }
 

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of the filesystem the store needs. The indirection
+// exists for fault injection: internal/faultinject wraps the real
+// filesystem with one that fails writes, truncates them short, refuses
+// renames at the torn-write crash point, or adds disk latency — which
+// is how the store's crash-safety claims are tested without a real
+// power cut. Production code always uses OSFS.
+type FS interface {
+	// OpenFile opens a file for writing with the given flags (the store
+	// passes os.O_SYNC when durability is on).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// File is the writable-file surface Put uses.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+var _ FS = OSFS{}

@@ -1,0 +1,398 @@
+// Package store is the durable content-addressed result store behind
+// the emsimd service cache: one file per SHA-256 result key, so a
+// computed result survives process restarts and is never computed
+// twice — the paper's don't-recompute-what-is-already-resident
+// principle applied across process lifetimes instead of across cores.
+//
+// Safety model (the never-serve-a-wrong-byte contract):
+//
+//   - Every entry carries a checksum trailer over its payload
+//     ("EMSTORE1" magic, uvarint length, payload, SHA-256 trailer). A
+//     torn write, a bit flip, or a truncation is a detected error, not
+//     a wrong result.
+//   - Writes are atomic: the payload goes to a temp file in the same
+//     directory which is renamed over the final name only once fully
+//     written. A crash mid-write leaves a *.tmp* file the next startup
+//     scan removes; it can never leave a half-entry under a final name.
+//   - With durability on, entry files are opened O_SYNC so the data is
+//     on disk before the rename publishes it. Off, a crash may lose
+//     recently written entries (they are recomputable) but still never
+//     corrupts one.
+//   - The startup scan verifies every entry's checksum and moves
+//     corrupt ones to quarantine/ (kept for forensics, never served).
+//     A corrupt entry discovered later by Get is quarantined the same
+//     way and reported as a typed *CorruptEntryError; the caller
+//     recomputes.
+//
+// Keys are hex SHA-256 strings (the service's content addresses);
+// anything else is rejected before it can touch the filesystem.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	entryMagic = "EMSTORE1\n"
+	// entrySuffix names finished entries; temp files carry tmpMarker in
+	// their suffix and are cleaned by the startup scan.
+	entrySuffix = ".res"
+	tmpMarker   = ".tmp"
+	// QuarantineDir is the subdirectory corrupt entries are moved to.
+	QuarantineDir = "quarantine"
+	// maxPayload bounds DecodeEntry allocations on hostile input.
+	maxPayload = 1 << 32
+)
+
+// ErrNotFound reports a key with no stored entry.
+var ErrNotFound = errors.New("store: entry not found")
+
+// CorruptEntryError reports an entry that failed its integrity check.
+// The entry has already been moved to quarantine when Quarantined is
+// true; the caller's recovery is to recompute the result.
+type CorruptEntryError struct {
+	Key         string
+	Path        string
+	Reason      string
+	Quarantined bool
+}
+
+func (e *CorruptEntryError) Error() string {
+	q := "quarantine failed; entry removed from store path"
+	if e.Quarantined {
+		q = "moved to quarantine"
+	}
+	return fmt.Sprintf("store: corrupt entry %s (%s; %s)", e.Key, e.Reason, q)
+}
+
+// Options shape one Store.
+type Options struct {
+	// Durable, when set, opens entry files O_SYNC so a published entry
+	// is on disk before the rename that makes it visible. Off, the OS
+	// may lose recently written entries on a crash — never corrupt one.
+	Durable bool
+	// FS overrides the filesystem (fault-injection tests); nil = the
+	// real one.
+	FS FS
+}
+
+// ScanReport summarises one startup scan.
+type ScanReport struct {
+	// Entries is the number of intact entries found.
+	Entries int
+	// Quarantined counts corrupt entries moved to quarantine/.
+	Quarantined int
+	// TempCleaned counts abandoned temp files (crash mid-write) removed.
+	TempCleaned int
+	// QuarantinedKeys names the quarantined entries, in directory order.
+	QuarantinedKeys []string
+}
+
+// Store is a durable content-addressed result store rooted at one
+// directory. All methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	opts    Options
+	fs      FS
+	scan    ScanReport
+	tmpSeq  atomic.Uint64
+	mu      sync.Mutex // serialises quarantine moves
+	entries atomic.Int64
+}
+
+// Open roots a store at dir (created if missing), scans every existing
+// entry, quarantines the corrupt ones, and removes temp files abandoned
+// by a crash mid-write. The scan's findings are in ScanReport.
+func Open(dir string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating quarantine dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, fs: fs}
+	if err := s.scanDir(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Scan returns the startup scan's findings.
+func (s *Store) Scan() ScanReport { return s.scan }
+
+// Len reports the number of intact entries currently stored.
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// scanDir verifies every entry at startup: intact entries are counted,
+// corrupt ones quarantined, abandoned temp files removed.
+func (s *Store) scanDir() error {
+	des, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.dir, err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, tmpMarker) {
+			// A temp file is a write that never reached its rename: a
+			// crash artefact with no reader, safe to delete.
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err == nil {
+				s.scan.TempCleaned++
+			}
+			continue
+		}
+		key, ok := strings.CutSuffix(name, entrySuffix)
+		if !ok || !validKey(key) {
+			continue // foreign file: not ours to touch
+		}
+		b, err := s.fs.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return fmt.Errorf("store: scanning entry %s: %w", name, err)
+		}
+		if _, err := DecodeEntry(b); err != nil {
+			s.quarantine(key)
+			s.scan.Quarantined++
+			s.scan.QuarantinedKeys = append(s.scan.QuarantinedKeys, key)
+			continue
+		}
+		s.scan.Entries++
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// validKey reports whether key is a hex SHA-256 content address —
+// anything else never touches the filesystem (also the path-traversal
+// guard).
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// entryPath is the final path of key's entry file.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, key+entrySuffix)
+}
+
+// Get returns the stored result body for key. A missing entry is
+// ErrNotFound; a corrupt one is quarantined and reported as a
+// *CorruptEntryError — never returned as data.
+func (s *Store) Get(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q", key)
+	}
+	b, err := s.fs.ReadFile(s.entryPath(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: reading entry %s: %w", key, err)
+	}
+	body, err := DecodeEntry(b)
+	if err != nil {
+		quarantined := s.quarantine(key)
+		s.entries.Add(-1)
+		return nil, &CorruptEntryError{Key: key, Path: s.entryPath(key), Reason: err.Error(), Quarantined: quarantined}
+	}
+	return body, nil
+}
+
+// Put durably stores body under key: encode with checksum trailer,
+// write to a same-directory temp file (O_SYNC + fsync when durable),
+// rename into place. An existing entry is left untouched — results are
+// immutable and the first one wins, exactly like the in-memory cache.
+func (s *Store) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if s.Has(key) {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%s%d", key, tmpMarker, s.tmpSeq.Add(1)))
+	flags := os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	if s.opts.Durable {
+		flags |= os.O_SYNC
+	}
+	f, err := s.fs.OpenFile(tmp, flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating temp entry: %w", err)
+	}
+	enc := EncodeEntry(body)
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return fmt.Errorf("store: writing entry %s: %w", key, err)
+	}
+	if s.opts.Durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			s.fs.Remove(tmp)
+			return fmt.Errorf("store: syncing entry %s: %w", key, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("store: closing entry %s: %w", key, err)
+	}
+	if err := s.fs.Rename(tmp, s.entryPath(key)); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("store: publishing entry %s: %w", key, err)
+	}
+	s.entries.Add(1)
+	return nil
+}
+
+// Has reports whether an intact-or-not entry file exists for key (the
+// cheap existence check Put uses; integrity is Get's business).
+func (s *Store) Has(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := s.fs.ReadFile(s.entryPath(key))
+	return err == nil
+}
+
+// Remove deletes key's entry if present.
+func (s *Store) Remove(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if err := s.fs.Remove(s.entryPath(key)); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	s.entries.Add(-1)
+	return nil
+}
+
+// Keys lists the stored keys in sorted directory order (for tests and
+// diagnostics; ReadDir returns sorted names).
+func (s *Store) Keys() ([]string, error) {
+	des, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if key, ok := strings.CutSuffix(de.Name(), entrySuffix); ok && validKey(key) {
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
+}
+
+// CheckWritable probes that the store can still create, read back and
+// remove a file in its directory — the readiness-probe primitive. The
+// probe file carries the temp marker so a crash mid-probe is cleaned
+// like any abandoned write.
+func (s *Store) CheckWritable() error {
+	probe := filepath.Join(s.dir, fmt.Sprintf("probe%s%d", tmpMarker, s.tmpSeq.Add(1)))
+	f, err := s.fs.OpenFile(probe, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	if _, err := f.Write([]byte(entryMagic)); err != nil {
+		f.Close()
+		s.fs.Remove(probe)
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(probe)
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	if err := s.fs.Remove(probe); err != nil {
+		return fmt.Errorf("store: probe cleanup: %w", err)
+	}
+	return nil
+}
+
+// quarantine moves key's entry file into quarantine/ (best effort: on
+// a failed move the entry is removed instead, so a corrupt file never
+// stays where Get could read it again). Reports whether the move
+// succeeded.
+func (s *Store) quarantine(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := s.entryPath(key)
+	dst := filepath.Join(s.dir, QuarantineDir, key+entrySuffix)
+	if err := s.fs.Rename(src, dst); err != nil {
+		s.fs.Remove(src)
+		return false
+	}
+	return true
+}
+
+// EncodeEntry renders body in the EMSTORE1 entry format: magic, uvarint
+// payload length, payload, SHA-256 trailer over the payload.
+func EncodeEntry(body []byte) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(body)))
+	out := make([]byte, 0, len(entryMagic)+n+len(body)+sha256.Size)
+	out = append(out, entryMagic...)
+	out = append(out, lenBuf[:n]...)
+	out = append(out, body...)
+	sum := sha256.Sum256(body)
+	out = append(out, sum[:]...)
+	return out
+}
+
+// DecodeEntry parses and verifies an EMSTORE1 entry, returning the
+// payload. Every malformation — bad magic, bad length, truncation,
+// trailing garbage, checksum mismatch — is a distinct clean error.
+func DecodeEntry(b []byte) ([]byte, error) {
+	if len(b) < len(entryMagic) || string(b[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("store: bad entry magic")
+	}
+	rest := b[len(entryMagic):]
+	size, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: bad entry length")
+	}
+	if size > maxPayload {
+		return nil, fmt.Errorf("store: entry length %d exceeds %d", size, uint64(maxPayload))
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < size+sha256.Size {
+		return nil, fmt.Errorf("store: truncated entry: %d bytes for %d-byte payload", len(rest), size)
+	}
+	if uint64(len(rest)) > size+sha256.Size {
+		return nil, fmt.Errorf("store: %d trailing bytes after entry", uint64(len(rest))-size-sha256.Size)
+	}
+	payload, trailer := rest[:size], rest[size:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("store: checksum mismatch: computed %x, stored %x", sum[:4], trailer[:4])
+	}
+	return payload, nil
+}

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// keyFor builds a valid content address from any test label.
+func keyFor(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPutGetRoundTrip: a stored body comes back byte-identical, across
+// both the same handle and a fresh Open of the same directory.
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("durable=%v", durable), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{Durable: durable})
+			key := keyFor("round-trip")
+			body := []byte(`{"workload":"mst","events":123}` + "\n")
+			if err := s.Put(key, body); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, body) {
+				t.Fatalf("round trip: %q != %q", got, body)
+			}
+
+			// Survives a restart: a fresh Open sees the same bytes.
+			s2 := mustOpen(t, dir, Options{Durable: durable})
+			if s2.Scan().Entries != 1 || s2.Scan().Quarantined != 0 {
+				t.Fatalf("rescan: %+v", s2.Scan())
+			}
+			got2, err := s2.Get(key)
+			if err != nil || !bytes.Equal(got2, body) {
+				t.Fatalf("restarted get: %q, %v", got2, err)
+			}
+		})
+	}
+}
+
+// TestFirstPutWins: re-putting an existing key leaves the original
+// bytes in place (results are immutable; determinism makes any second
+// body byte-identical anyway, so ignoring it is safe and cheap).
+func TestFirstPutWins(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := keyFor("first-wins")
+	if err := s.Put(key, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestGetMissing: an unknown key is ErrNotFound, not a filesystem
+// error.
+func TestGetMissing(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if _, err := s.Get(keyFor("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestInvalidKeysRejected: non-content-address keys (wrong length,
+// non-hex, path traversal) never reach the filesystem.
+func TestInvalidKeysRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, key := range []string{
+		"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		"../" + strings.Repeat("a", 61), strings.Repeat("a", 63) + "/",
+	} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted key %q", key)
+		}
+		if _, err := s.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get did not reject key %q: %v", key, err)
+		}
+	}
+}
+
+// TestGetQuarantinesCorruptEntry: a bit-flipped entry is detected by
+// the checksum, moved to quarantine/, and reported as a typed
+// *CorruptEntryError; the key then reads as not-found (recompute).
+func TestGetQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := keyFor("corrupt-get")
+	if err := s.Put(key, []byte("precious result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	flipEntryByte(t, filepath.Join(dir, key+entrySuffix), -8)
+
+	_, err := s.Get(key)
+	var corrupt *CorruptEntryError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("err = %v, want CorruptEntryError", err)
+	}
+	if corrupt.Key != key || !corrupt.Quarantined {
+		t.Fatalf("corrupt error: %+v", corrupt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, key+entrySuffix)); err != nil {
+		t.Fatalf("entry not in quarantine: %v", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-quarantine get: %v, want ErrNotFound", err)
+	}
+}
+
+// TestScanQuarantinesAndCleans: a startup scan over a directory holding
+// one good entry, one torn entry, one bit-rotted entry and one
+// abandoned temp file keeps the good one, quarantines both bad ones,
+// and removes the temp file.
+func TestScanQuarantinesAndCleans(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	good, torn, rotted := keyFor("good"), keyFor("torn"), keyFor("rotted")
+	for _, k := range []string{good, torn, rotted} {
+		if err := s.Put(k, []byte("body of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear one entry (truncate mid-payload), rot another (flip a byte),
+	// and abandon a temp file, as a crash mid-write would.
+	tornPath := filepath.Join(dir, torn+entrySuffix)
+	b, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipEntryByte(t, filepath.Join(dir, rotted+entrySuffix), -1)
+	if err := os.WriteFile(filepath.Join(dir, good+tmpMarker+"99"), []byte("half a wri"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	rep := s2.Scan()
+	if rep.Entries != 1 || rep.Quarantined != 2 || rep.TempCleaned != 1 {
+		t.Fatalf("scan report: %+v", rep)
+	}
+	if len(rep.QuarantinedKeys) != 2 {
+		t.Fatalf("quarantined keys: %v", rep.QuarantinedKeys)
+	}
+	if got, err := s2.Get(good); err != nil || string(got) != "body of "+good {
+		t.Fatalf("good entry after scan: %q, %v", got, err)
+	}
+	for _, k := range []string{torn, rotted} {
+		if _, err := s2.Get(k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("bad entry %s still readable: %v", k, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, QuarantineDir, k+entrySuffix)); err != nil {
+			t.Fatalf("%s not quarantined: %v", k, err)
+		}
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*"+tmpMarker+"*")); len(matches) != 0 {
+		t.Fatalf("temp files survived the scan: %v", matches)
+	}
+}
+
+// TestScanIgnoresForeignFiles: files that are not store entries (wrong
+// suffix, invalid key) are left alone, not deleted or quarantined.
+func TestScanIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if rep := s.Scan(); rep.Entries != 0 || rep.Quarantined != 0 || rep.TempCleaned != 0 {
+		t.Fatalf("scan touched foreign files: %+v", rep)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("foreign file removed: %v", err)
+	}
+}
+
+// TestRemoveAndKeys: Remove deletes an entry and Keys lists the rest
+// in sorted order.
+func TestRemoveAndKeys(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	a, b := keyFor("a"), keyFor("b")
+	for _, k := range []string{a, b} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(a); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != b {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestCheckWritable: the readiness probe passes on a healthy directory
+// and fails once the directory is gone.
+func TestCheckWritable(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.CheckWritable(); err != nil {
+		t.Fatal(err)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "probe*")); len(matches) != 0 {
+		t.Fatalf("probe file left behind: %v", matches)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckWritable(); err == nil {
+		t.Fatal("probe passed on a deleted directory")
+	}
+}
+
+// TestDecodeEntryErrors: every malformation class decodes to a clean,
+// distinct error.
+func TestDecodeEntryErrors(t *testing.T) {
+	good := EncodeEntry([]byte("payload"))
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"empty", nil, "bad entry magic"},
+		{"bad magic", []byte("NOTSTORE\nxxxx"), "bad entry magic"},
+		{"magic only", []byte(entryMagic), "bad entry length"},
+		{"truncated payload", good[:len(good)-sha256.Size-2], "truncated entry"},
+		{"truncated trailer", good[:len(good)-3], "truncated entry"},
+		{"trailing garbage", append(append([]byte{}, good...), 0), "trailing bytes"},
+		{"flipped payload", flipAt(good, len(entryMagic)+2), "checksum mismatch"},
+		{"flipped trailer", flipAt(good, len(good)-1), "checksum mismatch"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeEntry(c.b)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+	if body, err := DecodeEntry(good); err != nil || string(body) != "payload" {
+		t.Fatalf("good entry rejected: %q, %v", body, err)
+	}
+}
+
+// TestEncodeEmptyBody: an empty result body round-trips (length 0,
+// checksum of nothing).
+func TestEncodeEmptyBody(t *testing.T) {
+	body, err := DecodeEntry(EncodeEntry(nil))
+	if err != nil || len(body) != 0 {
+		t.Fatalf("empty round trip: %q, %v", body, err)
+	}
+}
+
+// flipAt returns a copy of b with one bit flipped at index i.
+func flipAt(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x01
+	return out
+}
+
+// flipEntryByte flips one byte of the file at path; negative offsets
+// count from the end.
+func flipEntryByte(t *testing.T, path string, off int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := off
+	if i < 0 {
+		i += len(b)
+	}
+	b[i] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
