@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint bench gobench short check fuzz cover results clean
+.PHONY: all build test vet lint bench benchgate gobench short check fuzz cover results clean
 
 all: build vet test
 
@@ -59,7 +59,15 @@ short:
 # the serial-vs-parallel sweep speedup, as JSON. DESIGN.md ("Reading
 # BENCH_simulator.json") documents the fields.
 bench:
-	$(GO) run ./cmd/benchreport -o BENCH_simulator.json
+	$(GO) run ./cmd/benchreport -o BENCH_simulator.json -history BENCH_history.jsonl
+	cat BENCH_simulator.json
+
+# The CI perf ratchet: same measurement, but fail on a >5% ns/ref
+# regression against the best comparable run recorded in
+# BENCH_history.jsonl (same cpus/GOMAXPROCS/batch length), or on any
+# hot-path allocation.
+benchgate:
+	$(GO) run ./cmd/benchreport -o BENCH_simulator.json -history BENCH_history.jsonl -gate
 	cat BENCH_simulator.json
 
 # The raw go-test benchmarks (ns/op + allocs/op per benchmark).

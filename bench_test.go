@@ -16,6 +16,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/affinity"
@@ -295,7 +296,9 @@ func BenchmarkAffinityRef(b *testing.B) {
 }
 
 // BenchmarkMachineAccess measures the end-to-end cost of one reference
-// through the 4-core machine.
+// through the 4-core machine, scalar delivery. The gomaxprocs metric
+// rides along so recorded ns/op numbers carry the scheduler width they
+// were measured under (cross-host comparability).
 func BenchmarkMachineAccess(b *testing.B) {
 	m := machine.MustNew(machine.MigrationConfig())
 	g := trace.NewCircular(24 << 10)
@@ -303,6 +306,27 @@ func BenchmarkMachineAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Access(mem.AddrOf(mem.Line(g.Next()), 6), mem.Load)
 	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkMachineAccessBatch is the columnar counterpart: the same
+// reference stream through Machine.AccessBatch in DefaultBatchLen
+// batches, with the batch length pinned into the metrics.
+func BenchmarkMachineAccessBatch(b *testing.B) {
+	m := machine.MustNew(machine.MigrationConfig())
+	g := trace.NewCircular(24 << 10)
+	batch := mem.NewBatch(0)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		batch.Reset()
+		for !batch.Full() && done < b.N {
+			batch.Append(mem.AddrOf(mem.Line(g.Next()), 6), mem.Load)
+			done++
+		}
+		m.AccessBatch(batch)
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(mem.DefaultBatchLen), "batch_len")
 }
 
 // BenchmarkExtensionCoreScaling sweeps the §6 core-count extension on a

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -34,5 +35,69 @@ func TestSpeedupFor(t *testing.T) {
 	}
 	if !strings.Contains(string(b), `"speedup":1.5`) || strings.Contains(string(b), "speedup_note") {
 		t.Fatalf("multi-CPU JSON: %s", b)
+	}
+}
+
+func TestGateHistory(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "BENCH_history.jsonl")
+	repCal := func(ns, calib float64, maxprocs int) Report {
+		return Report{
+			GoVersion:    "go1.24.0",
+			CPUs:         4,
+			GOMAXPROCS:   maxprocs,
+			BatchLen:     4096,
+			CalibNsPerOp: calib,
+			HotPath: []HotPathResult{
+				{Config: "normal", Refs: 1000, NsPerRef: ns, AllocsPerOp: 0},
+			},
+		}
+	}
+	rep := func(ns float64, maxprocs int) Report { return repCal(ns, 1.0, maxprocs) }
+
+	// No history yet: the gate passes and records a baseline.
+	if err := checkGate(hist, rep(100, 4)); err != nil {
+		t.Fatalf("gate with no history: %v", err)
+	}
+	if err := appendHistory(hist, rep(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within tolerance of the recorded best: pass.
+	if err := checkGate(hist, rep(104.9, 4)); err != nil {
+		t.Errorf("within-tolerance run failed gate: %v", err)
+	}
+	// Beyond tolerance: fail.
+	if err := checkGate(hist, rep(106, 4)); err == nil {
+		t.Error("regressed run passed gate")
+	}
+	// Same ns/ref but measured under a different GOMAXPROCS: not
+	// comparable, so no gate (fresh baseline).
+	if err := checkGate(hist, rep(500, 2)); err != nil {
+		t.Errorf("incomparable run failed gate: %v", err)
+	}
+	// An improvement appended to history ratchets the best down.
+	if err := appendHistory(hist, rep(80, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGate(hist, rep(90, 4)); err == nil {
+		t.Error("gate did not ratchet down to the improved best")
+	}
+	// Hot-path allocations always fail the gate.
+	bad := rep(50, 4)
+	bad.HotPath[0].AllocsPerOp = 1
+	if err := checkGate(hist, bad); err == nil {
+		t.Error("allocating run passed gate")
+	}
+
+	// Clock-speed drift cancels: a run on a host going half speed shows
+	// doubled ns/ref AND doubled calibration cost, so the normalized
+	// value is unchanged and the gate passes.
+	if err := checkGate(hist, repCal(160, 2.0, 4)); err != nil {
+		t.Errorf("frequency-drifted run failed gate: %v", err)
+	}
+	// ...while a genuine regression at the same calibration still fails.
+	if err := checkGate(hist, repCal(2*80*1.06, 2.0, 4)); err == nil {
+		t.Error("normalized regression passed gate")
 	}
 }

@@ -60,6 +60,7 @@ func main() {
 		interval  = flag.Uint64("interval", 1_000_000, "events between timeline/metrics samples")
 		metrics   = flag.String("metrics", "", "serve live metrics as JSON on this address (e.g. :8080) for the duration of the run")
 		jsonOut   = flag.Bool("json", false, "print the machine-readable result JSON instead of the human report")
+		scalar    = flag.Bool("scalar", false, "use the per-reference scalar delivery path instead of columnar batches (differential testing)")
 	)
 	flag.Parse()
 
@@ -96,6 +97,7 @@ func main() {
 		Checkpoint:      *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		Scalar:          *scalar,
 	}
 	if *timeline != "" || *metrics != "" {
 		p.TimelineInterval = *interval

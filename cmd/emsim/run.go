@@ -25,6 +25,12 @@ type runParams struct {
 	Cores    int
 	Replay   string // drive from this trace file instead of a workload
 
+	// Scalar selects the legacy per-reference delivery path instead of
+	// the columnar batch path (the -scalar escape hatch, kept for
+	// differential testing — the two paths must produce byte-identical
+	// output).
+	Scalar bool
+
 	// Workers sets the worker pool for the two machine passes: 0 = all
 	// cores, 1 = the legacy serial tee pass. Checkpointing and resuming
 	// force the serial path regardless (a checkpoint must capture both
@@ -89,7 +95,7 @@ type runResult struct {
 type stopRun struct{}
 
 // teeSink fans one event stream out to both machines.
-type teeSink struct{ a, b mem.Sink }
+type teeSink struct{ a, b mem.BatchSink }
 
 func (t teeSink) Access(addr mem.Addr, kind mem.Kind) {
 	t.a.Access(addr, kind)
@@ -100,19 +106,35 @@ func (t teeSink) Instr(n uint64) {
 	t.b.Instr(n)
 }
 
+// AccessBatch implements mem.BatchSink. Consumers may not retain or
+// mutate the batch, so handing the same one to both machines is safe.
+func (t teeSink) AccessBatch(b *mem.Batch) {
+	t.a.AccessBatch(b)
+	t.b.AccessBatch(b)
+}
+
 // ckptSink numbers events, discards the resume prefix, triggers
 // periodic checkpoints, and aborts on a stop request. Workload
 // generators cannot return early, so the abort is a panic(stopRun{})
 // recovered in drive.
 type ckptSink struct {
-	inner  mem.Sink
+	inner  mem.BatchSink
 	events uint64 // events seen, including the skipped resume prefix
 	skip   uint64 // resume fast-forward: discard the first skip events
 	every  uint64
 	save   func(events uint64)
 	tick   func(events uint64) // timeline sampling hook, nil when disabled
-	stop   *atomic.Bool
-	after  uint64
+	// tickEvery is the timeline interval behind tick. The batch path
+	// needs it explicitly: tick's only effects happen at multiples of the
+	// interval, so AccessBatch splits deliveries exactly there and calls
+	// tick once per span instead of once per event.
+	tickEvery uint64
+	stop      *atomic.Bool
+	after     uint64
+
+	// view is the reusable sub-batch header AccessBatch delivers spans
+	// through, so boundary splitting never allocates.
+	view mem.Batch
 }
 
 // Access and Instr inline the shared per-event bookkeeping instead of
@@ -156,9 +178,73 @@ func (c *ckptSink) checkStop() {
 	}
 }
 
+// AccessBatch implements mem.BatchSink: the batched counterpart of
+// Access/Instr. Per-event bookkeeping collapses into span arithmetic —
+// a batch is delivered in sub-spans that never straddle an event
+// boundary where the scalar path would do something (a timeline tick, a
+// periodic checkpoint, the -stop-after event, the resume fast-forward
+// edge), and the hook runs once at each boundary, exactly where the
+// scalar path's per-event call would have had an effect. Everything in
+// between is a straight slice handoff to the machine's batch kernel.
+func (c *ckptSink) AccessBatch(b *mem.Batch) {
+	i, n := 0, b.Len()
+	for i < n {
+		if c.events < c.skip {
+			// Resume fast-forward: discard without delivering. The
+			// -stop-after hook can land inside the discarded prefix and
+			// must still stop at its exact event.
+			d := c.skip - c.events
+			if rem := uint64(n - i); d > rem {
+				d = rem
+			}
+			if c.after > c.events && c.after <= c.events+d {
+				c.events = c.after
+				panic(stopRun{})
+			}
+			c.events += d
+			i += int(d)
+			if c.stop != nil && c.stop.Load() {
+				panic(stopRun{})
+			}
+			continue
+		}
+		span := uint64(n - i)
+		if c.tick != nil && c.tickEvery > 0 {
+			if next := c.tickEvery - c.events%c.tickEvery; next < span {
+				span = next
+			}
+		}
+		if c.every > 0 && c.save != nil {
+			if next := c.every - c.events%c.every; next < span {
+				span = next
+			}
+		}
+		if c.after > c.events {
+			if next := c.after - c.events; next < span {
+				span = next
+			}
+		}
+		c.view.Addr = b.Addr[i : i+int(span)]
+		c.view.Kind = b.Kind[i : i+int(span)]
+		c.inner.AccessBatch(&c.view)
+		c.events += span
+		i += int(span)
+		if c.tick != nil {
+			c.tick(c.events)
+		}
+		if c.every > 0 && c.save != nil && c.events%c.every == 0 {
+			c.save(c.events)
+		}
+		c.checkStop()
+	}
+}
+
 // drive pushes the run's input into sink, converting a stopRun panic
-// into interrupted=true.
-func drive(p runParams, sink mem.Sink) (interrupted bool, err error) {
+// into interrupted=true. The default path is batched: traces stream
+// through trace.BatchReader's zero-copy decoder and workloads through a
+// mem.Batcher, with sink.AccessBatch handling every event boundary. The
+// -scalar escape hatch replays the legacy one-call-per-record path.
+func drive(p runParams, sink *ckptSink) (interrupted bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(stopRun); ok {
@@ -174,11 +260,21 @@ func drive(p runParams, sink mem.Sink) (interrupted bool, err error) {
 			return false, err
 		}
 		defer f.Close()
-		tr, err := trace.NewReader(f)
+		if p.Scalar {
+			tr, err := trace.NewReader(f)
+			if err != nil {
+				return false, err
+			}
+			if _, err := tr.Replay(sink); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+		tr, err := trace.NewBatchReader(f)
 		if err != nil {
 			return false, err
 		}
-		if _, err := tr.Replay(sink); err != nil {
+		if _, err := tr.ReplayBatches(sink, nil); err != nil {
 			return false, err
 		}
 		return false, nil
@@ -187,7 +283,13 @@ func drive(p runParams, sink mem.Sink) (interrupted bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	w.Run(sink, p.Instr)
+	if p.Scalar {
+		w.Run(sink, p.Instr)
+		return false, nil
+	}
+	ba := mem.NewBatcher(sink, 0)
+	w.Run(ba, p.Instr)
+	ba.Flush()
 	return false, nil
 }
 
@@ -296,6 +398,7 @@ func run(p *runParams) (*runResult, error) {
 	}
 	if tel != nil {
 		sink.tick = tel.tickBoth
+		sink.tickEvery = tel.interval
 	}
 	interrupted, err := drive(*p, sink)
 	if err != nil {
@@ -342,6 +445,8 @@ func runIndependent(p *runParams, normal, mig *machine.Machine, tel *runTelemetr
 	if tel != nil {
 		sinks[0].tick = tel.tickNormal
 		sinks[1].tick = tel.tickMig
+		sinks[0].tickEvery = tel.interval
+		sinks[1].tickEvery = tel.interval
 	}
 	var interrupted [2]bool
 	pass := func(i int) func(context.Context) error {

@@ -41,7 +41,10 @@ var All = []*analysis.Analyzer{
 // sound while its job bodies stay deterministic; the store and health
 // packages because they sit on the result path (stored bytes are served
 // as results, and the backoff jitter lives next to probe code — its one
-// sanctioned time.Now read is annotated //emlint:wallclock).
+// sanctioned time.Now read is annotated //emlint:wallclock). The batch
+// pipeline packages (mem, trace, cache) joined when the columnar hot
+// path landed: batch assembly, trace decoding and cache indexing all
+// sit directly on the event stream every result is computed from.
 var resultPackages = map[string]bool{
 	ModulePath + "/internal/report":   true,
 	ModulePath + "/internal/runner":   true,
@@ -50,6 +53,9 @@ var resultPackages = map[string]bool{
 	ModulePath + "/internal/service":  true,
 	ModulePath + "/internal/store":    true,
 	ModulePath + "/internal/health":   true,
+	ModulePath + "/internal/mem":      true,
+	ModulePath + "/internal/trace":    true,
+	ModulePath + "/internal/cache":    true,
 }
 
 // InModule reports whether pkgPath belongs to this module (and is not

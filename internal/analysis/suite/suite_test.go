@@ -28,7 +28,9 @@ func TestForPackage(t *testing.T) {
 		{"repro/internal/report", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
 		{"repro/internal/machine", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
 		{"repro/internal/service", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/cache", []string{"snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/internal/cache", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/internal/mem", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
+		{"repro/internal/trace", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
 		{"repro/cmd/emsim", []string{"snapshotcomplete", "hotpath"}},
 		{"repro/internal/runner.test", nil},
 		{"fmt", nil},

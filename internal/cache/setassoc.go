@@ -21,6 +21,24 @@ type SetAssoc struct {
 	// frame stride in the loop costs measurable time there.
 	setMask   uint64 //emlint:nosnapshot derived from geo at construction
 	wayStride int32  //emlint:nosnapshot derived from geo at construction
+
+	// rotAmt and wScramble precompute the per-way constants of SkewIndex
+	// (rotation amount and scrambled way constant), so the hot walks can
+	// share the per-line decomposition — one golden-ratio multiply per
+	// probed line instead of one per way.
+	rotAmt    []uint   //emlint:nosnapshot derived from geo at construction
+	wScramble []uint64 //emlint:nosnapshot derived from geo at construction
+
+	// probeVictim is the insertion victim chosen during the walk of the
+	// most recent Probe miss; probeLine/probeOK guard its validity. They
+	// let a miss be converted into an insertion (InsertProbed) without
+	// re-running the indexing functions or a second candidate scan — for
+	// the skewed L2 that halves the SkewIndex evaluations on the miss
+	// path, which profiles as the single hottest computation of the
+	// simulator.
+	probeVictim int32    //emlint:nosnapshot probe scratch, rebuilt by the next Probe
+	probeLine   mem.Line //emlint:nosnapshot probe scratch, rebuilt by the next Probe
+	probeOK     bool     //emlint:nosnapshot probe scratch, rebuilt by the next Probe
 }
 
 // NewSetAssoc builds a set-associative cache with the given geometry.
@@ -30,7 +48,7 @@ func NewSetAssoc(geo Geometry) *SetAssoc {
 		panic(err)
 	}
 	n := geo.Frames()
-	return &SetAssoc{
+	c := &SetAssoc{
 		geo:       geo,
 		lines:     make([]mem.Line, n),
 		valid:     make([]bool, n),
@@ -39,6 +57,32 @@ func NewSetAssoc(geo Geometry) *SetAssoc {
 		setMask:   uint64(1)<<geo.SetsLog2 - 1,
 		wayStride: int32(1) << geo.SetsLog2,
 	}
+	if geo.Skewed && geo.SetsLog2 > 0 {
+		c.rotAmt = make([]uint, geo.Ways)
+		c.wScramble = make([]uint64, geo.Ways)
+		for w := 0; w < geo.Ways; w++ {
+			c.rotAmt[w] = uint(w) % geo.SetsLog2
+			c.wScramble[w] = uint64(w) * 0xbf58476d1ce4e5b9
+		}
+	}
+	return c
+}
+
+// skewSet is SkewIndex with the per-line decomposition hoisted out:
+// a1/a2 are the two index-bit groups of the line, hiK the golden-ratio
+// multiply of its high bits, computed once by the caller and shared by
+// every way of the walk. Requires geo.Skewed and SetsLog2 > 0.
+//
+//emlint:hotpath
+func (c *SetAssoc) skewSet(w int, a1, a2, hiK uint64) uint32 {
+	if w == 0 {
+		return uint32(a1 ^ a2)
+	}
+	sl := c.geo.SetsLog2
+	r := c.rotAmt[w]
+	rot := ((a2 << r) | (a2 >> (sl - r))) & c.setMask
+	h := (hiK ^ c.wScramble[w]) >> (64 - sl)
+	return uint32((a1 ^ rot ^ h) & c.setMask)
 }
 
 // frameOf returns the frame index of way w for line.
@@ -72,13 +116,125 @@ func (c *SetAssoc) Lookup(line mem.Line) (Handle, bool) {
 		}
 		return -1, false
 	}
+	sl := c.geo.SetsLog2
+	if sl == 0 {
+		for w := 0; w < c.geo.Ways; w++ {
+			if c.valid[w] && c.lines[w] == line {
+				return Handle(w), true
+			}
+		}
+		return -1, false
+	}
+	v := uint64(line)
+	a1 := v & c.setMask
+	a2 := (v >> sl) & c.setMask
+	hiK := (v >> (2 * sl)) * 0x9e3779b97f4a7c15
 	for w := 0; w < c.geo.Ways; w++ {
-		f := int32(w)<<c.geo.SetsLog2 + int32(SkewIndex(w, line, c.geo.SetsLog2))
+		f := int32(w)<<sl + int32(c.skewSet(w, a1, a2, hiK))
 		if c.valid[f] && c.lines[f] == line {
 			return Handle(f), true
 		}
 	}
 	return -1, false
+}
+
+// Probe is Access (lookup + LRU touch on hit) that additionally selects
+// the would-be insertion victim during the walk on a miss — the first
+// invalid candidate frame, else the least-recently-used candidate,
+// exactly the choice Insert would make. A following InsertProbed of the
+// same line then fills that frame directly, with no second scan and no
+// re-run of the indexing functions. The recorded victim stays valid
+// until the next Probe on this cache; the caller must not mutate this
+// cache between the Probe miss and its InsertProbed (interleaved
+// operations on *other* caches are fine — see Machine.request).
+//
+//emlint:hotpath
+func (c *SetAssoc) Probe(line mem.Line) (Handle, bool) {
+	best := int32(-1)
+	bestStamp := ^uint64(0)
+	haveInvalid := false
+	if !c.geo.Skewed {
+		f := int32(uint64(line) & c.setMask)
+		for w := 0; w < c.geo.Ways; w++ {
+			if c.valid[f] {
+				if c.lines[f] == line {
+					c.clock++
+					c.stamp[f] = c.clock
+					return Handle(f), true
+				}
+				if !haveInvalid && c.stamp[f] < bestStamp {
+					best = f
+					bestStamp = c.stamp[f]
+				}
+			} else if !haveInvalid {
+				best = f
+				haveInvalid = true
+			}
+			f += c.wayStride
+		}
+	} else if sl := c.geo.SetsLog2; sl > 0 {
+		v := uint64(line)
+		a1 := v & c.setMask
+		a2 := (v >> sl) & c.setMask
+		hiK := (v >> (2 * sl)) * 0x9e3779b97f4a7c15
+		for w := 0; w < c.geo.Ways; w++ {
+			f := int32(w)<<sl + int32(c.skewSet(w, a1, a2, hiK))
+			if c.valid[f] {
+				if c.lines[f] == line {
+					c.clock++
+					c.stamp[f] = c.clock
+					return Handle(f), true
+				}
+				if !haveInvalid && c.stamp[f] < bestStamp {
+					best = f
+					bestStamp = c.stamp[f]
+				}
+			} else if !haveInvalid {
+				best = f
+				haveInvalid = true
+			}
+		}
+	} else {
+		// Degenerate single-set skewed cache: every way indexes set 0.
+		for w := 0; w < c.geo.Ways; w++ {
+			f := int32(w)
+			if c.valid[f] {
+				if c.lines[f] == line {
+					c.clock++
+					c.stamp[f] = c.clock
+					return Handle(f), true
+				}
+				if !haveInvalid && c.stamp[f] < bestStamp {
+					best = f
+					bestStamp = c.stamp[f]
+				}
+			} else if !haveInvalid {
+				best = f
+				haveInvalid = true
+			}
+		}
+	}
+	c.probeVictim = best
+	c.probeLine = line
+	c.probeOK = true
+	return -1, false
+}
+
+// InsertProbed inserts line into the victim frame recorded by an
+// immediately preceding Probe miss of the same line. Without a matching
+// pending probe it falls back to the self-indexing Insert, so callers
+// may use it unconditionally after any miss. The Probe walk has already
+// established that line is absent from every candidate frame (and the
+// caller guarantees this cache was not mutated since), so the resident-
+// line check lives only on the Insert fallback.
+//
+//emlint:hotpath
+func (c *SetAssoc) InsertProbed(line mem.Line, flags uint8) (Handle, Victim) {
+	if !c.probeOK || c.probeLine != line {
+		return c.Insert(line, flags)
+	}
+	c.probeOK = false
+	return c.fill(c.probeVictim, line, flags)
 }
 
 // Touch implements Cache.
@@ -117,6 +273,14 @@ func (c *SetAssoc) Insert(line mem.Line, flags uint8) (Handle, Victim) {
 			best = f
 		}
 	}
+	return c.fill(best, line, flags)
+}
+
+// fill writes line into frame best (the victim chosen by Insert or
+// InsertProbed) and returns the displaced occupant, if any.
+//
+//emlint:hotpath
+func (c *SetAssoc) fill(best int32, line mem.Line, flags uint8) (Handle, Victim) {
 	var v Victim
 	if c.valid[best] {
 		v = Victim{Line: c.lines[best], Flags: c.flags[best], Valid: true}

@@ -53,5 +53,8 @@ func (c *SetAssoc) SetState(s SetAssocState) error {
 	copy(c.stamp, s.Stamp)
 	c.clock = s.Clock
 	c.count = s.Count
+	// A pending Probe describes the pre-restore content; drop it so a
+	// stale InsertProbed cannot pick a victim against the old stamps.
+	c.probeOK = false
 	return nil
 }

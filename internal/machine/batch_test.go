@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// batchConfigs returns fresh machine pairs for the three affinity
+// regimes, one machine for the scalar path and one for the batch path.
+func batchConfigs() map[string]func() *Machine {
+	return map[string]func() *Machine{
+		"normal":    func() *Machine { return MustNew(NormalConfig()) },
+		"migration": func() *Machine { return MustNew(MigrationConfig()) },
+		"migration-8": func() *Machine {
+			return MustNew(MigrationConfigN(8))
+		},
+	}
+}
+
+// driveMix pushes n deterministic records of a mixed-kind stream
+// (including an unknown kind tag, which must count a reference and
+// nothing else on both paths) into sink, with instruction records
+// interleaved.
+func driveMix(sink mem.Sink, ws int, n int) {
+	g := trace.NewCircular(uint64(ws))
+	h := trace.NewCircular(uint64(ws) / 3)
+	for i := 0; i < n; i++ {
+		var line mem.Line
+		if i%3 == 0 {
+			line = mem.Line(h.Next())
+		} else {
+			line = mem.Line(g.Next())
+		}
+		addr := mem.AddrOf(line, 6)
+		switch i % 16 {
+		case 0, 8:
+			sink.Access(addr, mem.IFetch)
+		case 1:
+			sink.Access(addr, mem.Store)
+		case 5:
+			sink.Access(addr, mem.PtrLoad)
+		case 11:
+			sink.Access(addr, mem.Kind(9)) // unknown kind: refs only
+		default:
+			sink.Access(addr, mem.Load)
+		}
+		if i%4 == 0 {
+			sink.Instr(3)
+		}
+	}
+}
+
+// TestAccessBatchMatchesScalar is the machine-level differential gate:
+// the same record stream delivered scalar (Access/Instr per record) and
+// batched (Batcher -> AccessBatch) must leave two machines with
+// identical statistics, identical telemetry snapshots, and identical
+// cache/controller state snapshots.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	for name, mk := range batchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			scalar, batched := mk(), mk()
+			// 200k refs on a 1.5 MB circular set overflows one L2, so the
+			// migration slow path is exercised from inside AccessBatch.
+			const refs = 200_000
+			driveMix(scalar, 24<<10, refs)
+			ba := mem.NewBatcher(batched, 512)
+			driveMix(ba, 24<<10, refs)
+			ba.Flush()
+
+			if scalar.FinalStats() != batched.FinalStats() {
+				t.Errorf("stats diverge:\nscalar:  %+v\nbatched: %+v",
+					scalar.FinalStats(), batched.FinalStats())
+			}
+			if !reflect.DeepEqual(scalar.Telemetry().Snapshot(), batched.Telemetry().Snapshot()) {
+				t.Errorf("telemetry diverges:\nscalar:  %+v\nbatched: %+v",
+					scalar.Telemetry().Snapshot(), batched.Telemetry().Snapshot())
+			}
+			s1, err := scalar.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := batched.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(s1, s2) {
+				t.Error("machine snapshots diverge between scalar and batched delivery")
+			}
+		})
+	}
+}
+
+// TestAccessBatchPartialAndEmpty: AccessBatch must handle empty and
+// partially filled batches (the tail flush of any stream).
+func TestAccessBatchPartialAndEmpty(t *testing.T) {
+	m := MustNew(NormalConfig())
+	b := mem.NewBatch(64)
+	m.AccessBatch(b) // empty: no-op
+	if m.FinalStats() != (Stats{}) {
+		t.Fatalf("empty batch mutated stats: %+v", m.FinalStats())
+	}
+	b.Append(mem.AddrOf(1, 6), mem.Load)
+	b.AppendInstr(7)
+	m.AccessBatch(b)
+	st := m.FinalStats()
+	if st.Loads != 1 || st.Instructions != 7 {
+		t.Fatalf("partial batch: got loads=%d instrs=%d, want 1/7", st.Loads, st.Instructions)
+	}
+}
+
+// TestAccessBatchRaggedPanics: the parallel-column invariant is a
+// programming error worth failing loudly on.
+func TestAccessBatchRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged batch did not panic")
+		}
+	}()
+	m := MustNew(NormalConfig())
+	m.AccessBatch(&mem.Batch{Addr: make([]mem.Addr, 2), Kind: make([]uint8, 1)})
+}
+
+// TestAccessBatchSteadyStateZeroAllocs extends the allocation gate to
+// the batch kernel: once warm, AccessBatch must not allocate.
+func TestAccessBatchSteadyStateZeroAllocs(t *testing.T) {
+	for name, m := range steadyMachines() {
+		g := trace.NewCircular(24 << 10)
+		b := mem.NewBatch(512)
+		fill := func() {
+			b.Reset()
+			for i := 0; !b.Full(); i++ {
+				line := mem.Line(g.Next())
+				switch i % 8 {
+				case 0:
+					b.Append(mem.AddrOf(line, 6), mem.IFetch)
+				case 1:
+					b.Append(mem.AddrOf(line, 6), mem.Store)
+				default:
+					b.Append(mem.AddrOf(line, 6), mem.Load)
+				}
+			}
+		}
+		fill()
+		m.AccessBatch(b) // warm the batch path itself
+		allocs := testing.AllocsPerRun(100, func() {
+			fill()
+			m.AccessBatch(b)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op in steady-state AccessBatch; the //emlint:hotpath batch kernel must stay allocation-free", name, allocs)
+		}
+	}
+}
+
+// BenchmarkAccessBatchSteadyState is the batched counterpart of
+// BenchmarkAccessSteadyState: same reference mix, delivered through
+// mem.Batcher into AccessBatch in DefaultBatchLen batches.
+func BenchmarkAccessBatchSteadyState(b *testing.B) {
+	for name, m := range steadyMachines() {
+		b.Run(name, func(b *testing.B) {
+			g := trace.NewCircular(24 << 10)
+			ba := mem.NewBatcher(m, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				line := mem.Line(g.Next())
+				switch i % 8 {
+				case 0:
+					ba.Access(mem.AddrOf(line, 6), mem.IFetch)
+				case 1:
+					ba.Access(mem.AddrOf(line, 6), mem.Store)
+				default:
+					ba.Access(mem.AddrOf(line, 6), mem.Load)
+				}
+				ba.Instr(3)
+			}
+			ba.Flush()
+		})
+	}
+}

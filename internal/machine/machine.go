@@ -387,7 +387,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 	switch kind {
 	case mem.IFetch:
 		m.Stats.IFetches++
-		if _, ok := m.il1.Access(line); ok {
+		if _, ok := m.il1.Probe(line); ok {
 			return
 		}
 		m.Stats.IL1Misses++
@@ -396,7 +396,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 		m.fillL1(m.il1, line)
 	case mem.Load, mem.PtrLoad:
 		m.Stats.Loads++
-		if _, ok := m.dl1.Access(line); ok {
+		if _, ok := m.dl1.Probe(line); ok {
 			return
 		}
 		m.Stats.DL1Misses++
@@ -408,7 +408,7 @@ func (m *Machine) Access(addr mem.Addr, kind mem.Kind) {
 		if m.cfg.Migration != nil {
 			m.Stats.UpdateBusBytes += 16
 		}
-		if _, ok := m.dl1.Access(line); ok {
+		if _, ok := m.dl1.Probe(line); ok {
 			// DL1 hit: write-through to the active L2 without an
 			// L1-miss request (invisible to the controller).
 			m.storeThrough(line)
@@ -433,12 +433,14 @@ func (m *Machine) spillRegisters() {
 // fillL1 inserts a line into an L1 after an L2/L3 fetch; the line is
 // broadcast to the inactive L1 copies (§2.3), which we account but do
 // not duplicate (contents are mirrored). The caller has just missed
-// this L1 on the same line and nothing on the request path touches the
-// L1s, so the line is guaranteed absent — Insert (which re-probes the
-// candidate frames and panics on a resident line) needs no preceding
-// Lookup.
+// this L1 on the same line (through Probe) and nothing on the request
+// path touches the L1s, so the line is guaranteed absent and the probed
+// candidate frames are still the insertion candidates — InsertProbed
+// reuses them instead of re-running the indexing.
+//
+//emlint:hotpath
 func (m *Machine) fillL1(l1 *cache.SetAssoc, line mem.Line) {
-	l1.Insert(line, 0)
+	l1.InsertProbed(line, 0)
 	if m.cfg.Migration != nil {
 		m.Stats.L1BroadcastBytes += uint64(m.cfg.Cores-1) << m.cfg.LineShift
 	}
@@ -458,7 +460,7 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 			m.spillRegisters()
 		}
 	}
-	if h, ok := m.l2[m.active].Access(line); ok {
+	if h, ok := m.l2[m.active].Probe(line); ok {
 		m.Stats.L2Hits++
 		m.probes.l2Hits.Inc()
 		m.notePrefetchHit(h)
@@ -476,7 +478,7 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 			m.probes.migrations.Inc()
 			m.active = core
 			m.spillRegisters()
-			if h, ok := m.l2[m.active].Access(line); ok {
+			if h, ok := m.l2[m.active].Probe(line); ok {
 				// The new active L2 holds the line: serviced locally
 				// after the migration, no L3 access.
 				m.Stats.L2Hits++
@@ -531,7 +533,7 @@ func (m *Machine) prefetchAfterMiss(line mem.Line) {
 // active L2 (allocating on miss — §2.1), set its modified bit, reset
 // modified on inactive copies.
 func (m *Machine) storeThrough(line mem.Line) {
-	if h, ok := m.l2[m.active].Access(line); ok {
+	if h, ok := m.l2[m.active].Probe(line); ok {
 		m.markModified(h, line)
 		return
 	}
@@ -591,7 +593,9 @@ func (m *Machine) fetch(line mem.Line, isStore bool) {
 	if isStore {
 		flags = cache.FlagModified
 	}
-	_, victim := m.l2[m.active].Insert(line, flags)
+	// The active L2's most recent Probe missed on this exact line (in
+	// request or storeThrough), so the recorded candidates are reused.
+	_, victim := m.l2[m.active].InsertProbed(line, flags)
 	if victim.Valid && victim.Flags&cache.FlagModified != 0 {
 		m.Stats.L3Writebacks++
 		if m.l3 != nil {

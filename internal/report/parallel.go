@@ -101,7 +101,7 @@ func Table2Batch(reg *workloads.Registry, names []string, budget uint64, opt Run
 			if err != nil {
 				return table2Job{}, err
 			}
-			w.Run(m, budget)
+			runBatched(w, m, budget)
 			return table2Job{name: w.Name(), suite: w.Suite(), stats: m.Stats}, nil
 		})
 	if err != nil {

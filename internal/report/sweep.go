@@ -73,12 +73,12 @@ func sweepPoint(ws, laps uint64, normalCfg, migCfg machine.Config) (SweepPoint, 
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	trace.Drive(trace.NewCircular(ws), normal, refs, 6, 3)
+	trace.DriveBatched(trace.NewCircular(ws), normal, refs, 6, 3)
 	mig, err := machine.New(migCfg)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	trace.Drive(trace.NewCircular(ws), mig, refs, 6, 3)
+	trace.DriveBatched(trace.NewCircular(ws), mig, refs, 6, 3)
 
 	p := SweepPoint{Lines: ws, Bytes: ws << 6}
 	nRate := float64(normal.Stats.L2Misses) / float64(normal.Stats.Instructions)

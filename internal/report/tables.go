@@ -84,15 +84,24 @@ type Table2Row struct {
 	HasMigrations bool
 }
 
+// runBatched drives a workload into a machine through the columnar
+// batch path; both Table2 variants and the sweep use it so every
+// machine-bound workload pass goes through the same delivery kernel.
+func runBatched(wl workloads.Workload, m mem.BatchSink, budget uint64) {
+	ba := mem.NewBatcher(m, 0)
+	wl.Run(ba, budget)
+	ba.Flush()
+}
+
 // Table2 runs one workload through both machine configurations.
 func Table2(w func() workloads.Workload, budget uint64) Table2Row {
 	wl := w()
 	normal := machine.MustNew(machine.NormalConfig())
-	wl.Run(normal, budget)
+	runBatched(wl, normal, budget)
 
 	wl2 := w()
 	mig := machine.MustNew(machine.MigrationConfig())
-	wl2.Run(mig, budget)
+	runBatched(wl2, mig, budget)
 
 	return table2Row(wl.Name(), wl.Suite(), normal.Stats, mig.Stats)
 }

@@ -32,10 +32,14 @@ type stopJob struct{}
 // replays the deterministic input from the checkpointed event onward and
 // finishes byte-identical to an uninterrupted run.
 type jobSink struct {
-	normal, mig mem.Sink
+	normal, mig mem.BatchSink
 	events      uint64 // events seen, including the skipped resume prefix
 	skip        uint64
 	stop        *atomic.Bool
+
+	// view is the reusable sub-batch header AccessBatch delivers spans
+	// through, so skip-boundary splitting never allocates.
+	view mem.Batch
 }
 
 func (j *jobSink) Access(addr mem.Addr, kind mem.Kind) {
@@ -63,9 +67,37 @@ func (j *jobSink) checkStop() {
 	}
 }
 
-// driveJob pushes the workload into sink, converting a stopJob panic
-// into interrupted=true.
-func driveJob(workload string, instr uint64, sink mem.Sink) (interrupted bool, err error) {
+// AccessBatch implements mem.BatchSink: the columnar delivery path of a
+// job. Only the resume fast-forward edge splits a batch — everything
+// past it streams straight into both machines' batch kernels. The stop
+// flag is checked per batch instead of per event; stops are
+// asynchronous (deadline or drain), so the only effect is that a
+// cancelled job runs on for at most one batch before spooling.
+func (j *jobSink) AccessBatch(b *mem.Batch) {
+	i, n := 0, b.Len()
+	for i < n {
+		if j.events < j.skip {
+			d := j.skip - j.events
+			if rem := uint64(n - i); d > rem {
+				d = rem
+			}
+			j.events += d
+			i += int(d)
+		} else {
+			j.view.Addr = b.Addr[i:n]
+			j.view.Kind = b.Kind[i:n]
+			j.normal.AccessBatch(&j.view)
+			j.mig.AccessBatch(&j.view)
+			j.events += uint64(n - i)
+			i = n
+		}
+		j.checkStop()
+	}
+}
+
+// driveJob pushes the workload into sink through the columnar batch
+// path, converting a stopJob panic into interrupted=true.
+func driveJob(workload string, instr uint64, sink mem.BatchSink) (interrupted bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(stopJob); ok {
@@ -80,7 +112,9 @@ func driveJob(workload string, instr uint64, sink mem.Sink) (interrupted bool, e
 	if err != nil {
 		return false, err
 	}
-	w.Run(sink, instr)
+	ba := mem.NewBatcher(sink, 0)
+	w.Run(ba, instr)
+	ba.Flush()
 	return false, nil
 }
 
