@@ -40,6 +40,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ioutilx"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/migration"
@@ -217,25 +218,24 @@ type historyEntry struct {
 }
 
 // appendHistory appends the run (with a timestamp) to the JSONL file.
-func appendHistory(path string, rep Report) error {
+// The Close error is part of the append — a full disk often surfaces
+// only there — so it rides the named return via CloseKeeping.
+func appendHistory(path string, rep Report) (err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
+	defer ioutilx.CloseKeeping(&err, f)
 	line, err := json.Marshal(historyEntry{
 		Time:   time.Now().UTC().Format(time.RFC3339),
 		Report: rep,
 	})
 	if err != nil {
-		f.Close()
 		return err
 	}
 	line = append(line, '\n')
-	if _, err := f.Write(line); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	_, err = f.Write(line)
+	return err
 }
 
 // comparableEntry reports whether a recorded run's numbers are commensurable

@@ -1,30 +1,38 @@
-// Command emlint is the repository's static-analysis driver: four
-// analyzers (nondeterminism, snapshotcomplete, hotpath, nopanic) that
-// enforce the simulator's determinism, checkpoint and allocation
-// invariants at build time. It speaks go vet's vettool protocol, so the
-// usual invocation is
+// Command emlint is the repository's static-analysis driver: eight
+// analyzers (nondeterminism, snapshotcomplete, hotpath, nopanic,
+// lockguard, batchparity, ctxflow, closecheck) that enforce the
+// simulator's determinism, checkpoint, allocation, locking, kernel-
+// parity and shutdown invariants at build time. The usual invocation is
+// the standalone mode wired up as `make lint`:
 //
-//	go vet -vettool=$(which emlint) ./...
+//	emlint [-format text|json|sarif] [-o file] [-baseline ci/emlint.baseline] ./...
 //
-// (wired up as `make lint`), and it also runs standalone on package
-// patterns:
+// which loads the matched packages ONCE (`go list -export -deps` plus
+// one typecheck per package) and fans every policy-applicable analyzer
+// over the shared type-checked set. Findings matching the baseline file
+// are reported but do not fail the run; any new finding exits 1.
+// `-write-baseline` regenerates the baseline from the current findings
+// instead of judging them (`make lint-baseline`).
 //
-//	emlint ./internal/...
-//
-// The vettool protocol, replicated from x/tools' unitchecker (which is
-// not importable in this offline module):
+// It also still speaks go vet's vettool protocol
+// (`go vet -vettool=$(which emlint) ./...`), replicated from x/tools'
+// unitchecker (which is not importable in this offline module):
 //
 //	-V=full    print a version fingerprint for the build cache; exit 0
 //	-flags     print the tool's flags as JSON; exit 0
 //	foo.cfg    analyze one compilation unit described by the JSON file
 //
 // In .cfg mode diagnostics go to stderr as "file:line:col: message" and
-// the exit status is 1 if any were reported; go vet relays both.
+// the exit status is 1 if any were reported; go vet relays both. The
+// baseline does not apply in vet mode — go vet caches per-package
+// results, so suppression must stay in the standalone driver where the
+// whole run is visible.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -34,7 +42,6 @@ import (
 	"io"
 	"log"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -157,8 +164,17 @@ func unitcheck(cfgFile string) {
 		log.Fatalf("typechecking %s: %v", importPath, err)
 	}
 
-	diags := runAnalyzers(analyzers, fset, files, pkg, info)
-	report(fset, diags)
+	findings, err := suite.RunPackage(analyzers, fset, files, pkg, info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.File, f.Line, f.Column, f.Message)
+	}
+	os.Exit(1)
 }
 
 // importerFunc adapts a function to types.Importer.
@@ -186,67 +202,82 @@ func unitImporter(cfg *vetConfig, fset *token.FileSet) types.Importer {
 	})
 }
 
-// standalone lints package patterns without go vet: emlint ./...
-func standalone(patterns []string) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := load.Load("", patterns...)
+// standalone lints package patterns in a single load: emlint ./...
+func standalone(args []string) {
+	fs := flag.NewFlagSet("emlint", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text, json or sarif")
+	outPath := fs.String("o", "", "write the report to this file instead of the default stream")
+	baselinePath := fs.String("baseline", "", "baseline file of triaged findings that do not fail the run")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from the current findings instead of judging them")
+	fs.Parse(args)
+
+	findings, err := suite.Lint("", fs.Args()...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var all []analysis.Diagnostic
-	var fset *token.FileSet
-	for _, pkg := range pkgs {
-		fset = pkg.Fset // one shared FileSet across load.Load
-		analyzers := suite.ForPackage(pkg.Path)
-		all = append(all, runAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)...)
-	}
-	report(fset, all)
-}
 
-// runAnalyzers applies analyzers to one typechecked package.
-func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet,
-	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
-
-	dirs := analysis.ParseDirectives(fset, files)
-	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:   a,
-			Fset:       fset,
-			Files:      files,
-			Pkg:        pkg,
-			TypesInfo:  info,
-			Directives: dirs,
-			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	if *writeBaseline {
+		if *baselinePath == "" {
+			log.Fatal("-write-baseline requires -baseline <file>")
 		}
-		if err := a.Run(pass); err != nil {
-			log.Fatalf("%s: %v", a.Name, err)
+		if err := os.WriteFile(*baselinePath, suite.FormatBaseline(findings), 0666); err != nil {
+			log.Fatal(err)
 		}
-	}
-	return diags
-}
-
-// report prints diagnostics in file/line order to stderr and exits 1 if
-// there were any. Analyzers walk maps internally, so the sort also makes
-// runs reproducible — the tool holds itself to its own invariant.
-func report(fset *token.FileSet, diags []analysis.Diagnostic) {
-	if len(diags) == 0 {
+		fmt.Fprintf(os.Stderr, "emlint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
 		return
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
+
+	baseline := suite.ParseBaseline(nil)
+	if *baselinePath != "" {
+		baseline, err = suite.LoadBaseline(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return pi.Column < pj.Column
-	})
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
-	os.Exit(1)
+	fresh, baselined := baseline.Split(findings)
+
+	// text goes to stderr by default (the historical contract go vet
+	// relays); machine formats go to stdout so they pipe cleanly.
+	var w io.Writer = os.Stderr
+	if *format != "text" {
+		w = os.Stdout
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range fresh {
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
+		if len(baselined) > 0 {
+			fmt.Fprintf(w, "emlint: %d baselined finding(s) suppressed (see -baseline file)\n", len(baselined))
+		}
+	case "json":
+		if err := writeJSON(w, fresh, baselined); err != nil {
+			log.Fatal(err)
+		}
+	case "sarif":
+		if err := writeSARIF(w, fresh, baselined); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -format %q (want text, json or sarif)", *format)
+	}
+	if len(fresh) > 0 {
+		// The report above may have gone to -o; the build log still
+		// needs the verdict.
+		fmt.Fprintf(os.Stderr, "emlint: %d new finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
 }

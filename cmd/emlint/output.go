@@ -1,0 +1,151 @@
+package main
+
+// output.go renders findings in the two machine formats. JSON is the
+// flat array scripts consume; SARIF 2.1.0 is what code-scanning UIs
+// ingest (the CI lint job uploads it as an artifact). Baselined
+// findings are included in both — marked, not dropped — so the report
+// shows the whole triage state, while only new findings fail the run.
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// jsonFinding is one finding in -format json output.
+type jsonFinding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined"`
+}
+
+func writeJSON(w io.Writer, fresh, baselined []suite.Finding) error {
+	out := make([]jsonFinding, 0, len(fresh)+len(baselined))
+	for _, f := range fresh {
+		out = append(out, jsonFinding{f.Analyzer, f.File, f.Line, f.Column, f.Message, false})
+	}
+	for _, f := range baselined {
+		out = append(out, jsonFinding{f.Analyzer, f.File, f.Line, f.Column, f.Message, true})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 — the subset code-scanning ingests.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID        string          `json:"ruleId"`
+	RuleIndex     int             `json:"ruleIndex"`
+	Level         string          `json:"level"`
+	Message       sarifText       `json:"message"`
+	Locations     []sarifLocation `json:"locations"`
+	BaselineState string          `json:"baselineState"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(w io.Writer, fresh, baselined []suite.Finding) error {
+	ruleIndex := make(map[string]int, len(suite.All))
+	rules := make([]sarifRule, 0, len(suite.All))
+	for i, a := range suite.All {
+		ruleIndex[a.Name] = i
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: docSummary(a)},
+		})
+	}
+	results := make([]sarifResult, 0, len(fresh)+len(baselined))
+	add := func(f suite.Finding, state string) {
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: max(f.Line, 1), StartColumn: max(f.Column, 1)},
+				},
+			}},
+			BaselineState: state,
+		})
+	}
+	for _, f := range fresh {
+		add(f, "new")
+	}
+	for _, f := range baselined {
+		add(f, "unchanged")
+	}
+	logDoc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "emlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(logDoc)
+}
+
+// docSummary returns the first line of an analyzer's Doc string.
+func docSummary(a *analysis.Analyzer) string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}

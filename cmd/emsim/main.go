@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ioutilx"
 	"repro/internal/migration"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -208,16 +209,6 @@ func writeRunJSON(w io.Writer, p runParams, res *runResult) error {
 	return report.WriteRunJSON(w, out)
 }
 
-// closeKeeping closes c and records its error into *err unless an
-// earlier error is already there — the shared idiom for every close on
-// a result path in this package, so a failed flush (e.g. a full
-// filesystem surfacing at Close) cannot exit 0.
-func closeKeeping(err *error, c io.Closer) {
-	if cerr := c.Close(); cerr != nil && *err == nil {
-		*err = cerr
-	}
-}
-
 // startProfiles arms the requested pprof outputs and returns the
 // function that flushes them: it stops the CPU profile and writes the
 // heap profile (after a GC, so the numbers reflect live steady-state
@@ -230,7 +221,7 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			closeKeeping(&err, f)
+			ioutilx.CloseKeeping(&err, f)
 			return nil, err
 		}
 		cpuFile = f
@@ -243,7 +234,7 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 		done = true
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
-			closeKeeping(&err, cpuFile)
+			ioutilx.CloseKeeping(&err, cpuFile)
 			if err != nil {
 				return err
 			}
@@ -253,7 +244,7 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 			if ferr != nil {
 				return ferr
 			}
-			defer closeKeeping(&err, f)
+			defer ioutilx.CloseKeeping(&err, f)
 			runtime.GC()
 			if werr := pprof.WriteHeapProfile(f); werr != nil {
 				return werr

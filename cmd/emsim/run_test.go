@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -422,32 +421,6 @@ func TestWriteRunJSON(t *testing.T) {
 		t.Fatalf("trace-driven JSON kept the workload name: %s", c.String())
 	}
 }
-
-// TestCloseKeeping: the close helper surfaces a Close error only when
-// nothing failed earlier.
-func TestCloseKeeping(t *testing.T) {
-	var err error
-	closeKeeping(&err, closerFunc(func() error { return nil }))
-	if err != nil {
-		t.Fatalf("clean close set error %v", err)
-	}
-	closeKeeping(&err, closerFunc(func() error { return errClose }))
-	if err != errClose {
-		t.Fatalf("close error not kept: %v", err)
-	}
-	prior := errors.New("prior failure")
-	err = prior
-	closeKeeping(&err, closerFunc(func() error { return errClose }))
-	if err != prior {
-		t.Fatalf("close error displaced the primary error: %v", err)
-	}
-}
-
-type closerFunc func() error
-
-func (f closerFunc) Close() error { return f() }
-
-var errClose = errors.New("close failed")
 
 // TestWriteTimelineCloseError: a timeline destination that cannot be
 // flushed (a directory) reports the failure instead of dropping it.

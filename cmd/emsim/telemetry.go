@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/ioutilx"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/telhttp"
@@ -105,7 +106,7 @@ func writeTimeline(path string, rows []telemetry.Row) (err error) {
 	if err != nil {
 		return err
 	}
-	defer closeKeeping(&err, f)
+	defer ioutilx.CloseKeeping(&err, f)
 	return telemetry.WriteJSONL(f, rows)
 }
 

@@ -78,9 +78,15 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 	// Re-adopt checkpoints a previous drain spooled. Recovery runs in
 	// the background on the normal worker pool; /readyz reports
 	// unavailable until it finishes, while /run traffic is already
-	// accepted (first-result-wins arbitrates any overlap).
-	go func() {
-		rep := svc.Recover(context.Background())
+	// accepted (first-result-wins arbitrates any overlap). The context
+	// is cancelled when a shutdown signal arrives, so a daemon killed
+	// mid-recovery stops re-admitting spooled jobs instead of racing
+	// the drain (the unfinished checkpoints simply stay spooled for the
+	// next start).
+	recCtx, cancelRec := context.WithCancel(context.Background())
+	defer cancelRec()
+	go func(ctx context.Context) {
+		rep := svc.Recover(ctx)
 		if rep.Resumed > 0 || rep.Quarantined > 0 || len(rep.Errors) > 0 {
 			fmt.Fprintf(stderr, "emsimd: recovery: %d resumed, %d already done, %d respooled, %d quarantined, %d foreign\n",
 				rep.Resumed, rep.AlreadyDone, rep.Respooled, rep.Quarantined, rep.Foreign)
@@ -88,7 +94,7 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 		for _, err := range rep.Errors {
 			fmt.Fprintf(stderr, "emsimd: recovery: %v\n", err)
 		}
-	}()
+	}(recCtx)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -102,6 +108,7 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
+	//emlint:detached bounded by srv.Shutdown below; Serve returns once the listener closes
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
@@ -111,6 +118,8 @@ func run(argv []string, stderr io.Writer, signals <-chan os.Signal, ready func(a
 	case sig := <-signals:
 		fmt.Fprintf(stderr, "emsimd: %v received, draining (up to %v)\n", sig, *drain)
 	}
+	// Stop re-admitting spooled jobs before draining the admitted ones.
+	cancelRec()
 
 	// Job-level drain first: admission is already refused, running jobs
 	// get the grace period, stragglers checkpoint to -spool.

@@ -17,9 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/ioutilx"
 	"repro/internal/report"
 	"repro/internal/workloads/suite"
 )
@@ -36,6 +38,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
 		timeline = flag.Bool("timeline", false, "print the per-interval timeline table (Table 2's trade resolved over time) and exit")
 		interval = flag.Uint64("interval", 1_000_000, "events between -timeline samples")
+		outPath  = flag.String("o", "", "write the tables to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -50,16 +53,7 @@ func main() {
 		}
 	}
 
-	if *sweep {
-		fmt.Printf("circular working-set sweep, %d-core migration machine, %d laps per point\n\n", *cores, *laps)
-		points, err := report.SweepWorkingSetOpt(report.DefaultSweepSizes(), *laps, *cores, opt("sweep"))
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(report.FormatSweep(points))
-		return
-	}
-	if !*t1 && !*t2 && !*timeline {
+	if !*t1 && !*t2 && !*timeline && !*sweep {
 		*t1, *t2 = true, true
 	}
 
@@ -72,34 +66,67 @@ func main() {
 		}
 	}
 
-	if *timeline {
-		fmt.Printf("per-interval timeline, %d events per interval, %dM instructions per workload\n\n",
-			*interval, *instr/1_000_000)
-		batch, err := report.TimelineBatch(reg, names, *instr, *interval, opt("timeline"))
-		if err != nil {
-			fail(err)
+	// emit writes the requested tables to out; the output sink (stdout
+	// or the -o file) is the caller's concern, including its Close.
+	emit := func(out io.Writer) error {
+		if *sweep {
+			fmt.Fprintf(out, "circular working-set sweep, %d-core migration machine, %d laps per point\n\n", *cores, *laps)
+			points, err := report.SweepWorkingSetOpt(report.DefaultSweepSizes(), *laps, *cores, opt("sweep"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatSweep(points))
+			return nil
 		}
-		fmt.Println(report.FormatTimeline(batch))
-		return
+
+		if *timeline {
+			fmt.Fprintf(out, "per-interval timeline, %d events per interval, %dM instructions per workload\n\n",
+				*interval, *instr/1_000_000)
+			batch, err := report.TimelineBatch(reg, names, *instr, *interval, opt("timeline"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatTimeline(batch))
+			return nil
+		}
+
+		if *t1 {
+			fmt.Fprintf(out, "Table 1: benchmarks, %dM instructions each, 16KB fully-assoc LRU L1s, 64B lines\n\n", *instr/1_000_000)
+			rows, err := report.Table1Batch(reg, names, *instr, opt("table1"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatTable1(rows))
+		}
+		if *t2 {
+			fmt.Fprintf(out, "Table 2: 4-core, 512KB 4-way skewed L2 per core, 8k-entry affinity cache,\n")
+			fmt.Fprintf(out, "25%% sampling, 18-bit filters, L2 filtering. %dM instructions per run.\n", *instr/1_000_000)
+			fmt.Fprintf(out, "All columns are instructions per event (higher is better); ratio < 1 means\n")
+			fmt.Fprintf(out, "execution migration removed L2 misses.\n\n")
+			rows, err := report.Table2Batch(reg, names, *instr, opt("table2"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatTable2(rows))
+		}
+		return nil
 	}
 
-	if *t1 {
-		fmt.Printf("Table 1: benchmarks, %dM instructions each, 16KB fully-assoc LRU L1s, 64B lines\n\n", *instr/1_000_000)
-		rows, err := report.Table1Batch(reg, names, *instr, opt("table1"))
-		if err != nil {
+	if *outPath == "" {
+		if err := emit(os.Stdout); err != nil {
 			fail(err)
 		}
-		fmt.Println(report.FormatTable1(rows))
+		return
 	}
-	if *t2 {
-		fmt.Printf("Table 2: 4-core, 512KB 4-way skewed L2 per core, 8k-entry affinity cache,\n")
-		fmt.Printf("25%% sampling, 18-bit filters, L2 filtering. %dM instructions per run.\n", *instr/1_000_000)
-		fmt.Printf("All columns are instructions per event (higher is better); ratio < 1 means\n")
-		fmt.Printf("execution migration removed L2 misses.\n\n")
-		rows, err := report.Table2Batch(reg, names, *instr, opt("table2"))
+	err := func() (err error) {
+		f, err := os.Create(*outPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(report.FormatTable2(rows))
+		defer ioutilx.CloseKeeping(&err, f)
+		return emit(f)
+	}()
+	if err != nil {
+		fail(err)
 	}
 }

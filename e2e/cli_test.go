@@ -29,7 +29,16 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	build := exec.Command("go", "build", "-o", dir, "repro/cmd/emsim", "repro/cmd/tables", "repro/cmd/emsimd", "repro/cmd/emsimc")
+	// EMSIM_E2E_RACE=1 builds the binaries under the race detector, so
+	// the crash/recovery suite exercises the daemon's real goroutine
+	// interleavings (drain vs recovery vs serve) with checking on; CI's
+	// race job sets it.
+	args := []string{"build", "-o", dir}
+	if os.Getenv("EMSIM_E2E_RACE") == "1" {
+		args = append(args, "-race")
+	}
+	args = append(args, "repro/cmd/emsim", "repro/cmd/tables", "repro/cmd/emsimd", "repro/cmd/emsimc")
+	build := exec.Command("go", args...)
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "building CLI binaries:", err)

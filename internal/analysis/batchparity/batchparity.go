@@ -1,0 +1,277 @@
+// Package batchparity implements the emlint analyzer guarding
+// scalar/batch kernel equivalence. The simulator keeps two
+// implementations of each hot kernel: the scalar reference path
+// (Machine.Access, trace.Reader.ReplayWith) and the columnar batch path
+// (AccessBatch, BatchReader) that must be observationally identical —
+// every Stats field and telemetry counter the scalar path mutates, the
+// batch path must mutate too, directly or through its accumulator fold.
+// The differential tests catch drift at run time for the inputs they
+// happen to replay; this analyzer catches it at vet time for all of
+// them, the same way snapshotcomplete guards checkpoint completeness.
+//
+// A batch kernel declares its counterpart in its doc comment:
+//
+//	//emlint:batchpair <scalar> [-Field ...] [reason]
+//
+// where <scalar> is a sibling method name (Access), a package function,
+// or Type.Method for a cross-type pair (Reader.ReplayWith). The
+// analyzer computes, for each side, the set of struct-field names the
+// function transitively mutates — assignments, ++/--, and calls to
+// counter mutators (Inc, Add, Set, Observe, Record, Store) on a field —
+// following same-package static callees. Every name mutated on the
+// scalar side must appear on the batch side. Reviewed scalar-only
+// divergences (e.g. the salvage counters a strict batch reader
+// deliberately lacks) are listed as `-Field` tokens; a `-Field` that no
+// longer names a divergence is itself a diagnostic, so the ignore list
+// cannot rot.
+package batchparity
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer diffs mutation sets of declared scalar/batch kernel pairs.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchparity",
+	Doc: `verify batch kernels mutate every field their scalar counterpart mutates
+
+A function annotated //emlint:batchpair <scalar> [-Field ...] must
+mutate (assign, increment, or call Inc/Add/Set/Observe/Record/Store on)
+every struct field the named scalar function mutates, transitively
+through same-package callees. -Field tokens exempt reviewed scalar-only
+divergences and are themselves checked for staleness.`,
+	Run: run,
+}
+
+// mutators are the counter/gauge methods whose invocation counts as a
+// mutation of the field they are called on.
+var mutators = map[string]bool{
+	"Inc": true, "Add": true, "Set": true,
+	"Observe": true, "Record": true, "Store": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index declarations for static call resolution and scalar lookup.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	methods := make(map[*types.Named]map[string]*ast.FuncDecl)
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if named := receiverNamed(fn); named != nil {
+				if methods[named] == nil {
+					methods[named] = make(map[string]*ast.FuncDecl)
+				}
+				methods[named][fd.Name.Name] = fd
+			} else if fd.Recv == nil {
+				funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			for _, arg := range analysis.FuncArgs(fd, analysis.DirBatchPair) {
+				checkPair(pass, fd, arg, decls, methods, funcs)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPair resolves one //emlint:batchpair directive on batch decl fd
+// and diffs the two mutation sets.
+func checkPair(pass *analysis.Pass, fd *ast.FuncDecl, arg string,
+	decls map[*types.Func]*ast.FuncDecl,
+	methods map[*types.Named]map[string]*ast.FuncDecl,
+	funcs map[string]*ast.FuncDecl) {
+
+	tokens := strings.Fields(arg)
+	if len(tokens) == 0 {
+		pass.Reportf(fd.Pos(), "//emlint:batchpair needs a scalar counterpart name (e.g. //emlint:batchpair Access)")
+		return
+	}
+	scalarName := tokens[0]
+	ignored := make(map[string]bool)
+	for _, t := range tokens[1:] {
+		if f, ok := strings.CutPrefix(t, "-"); ok && f != "" {
+			ignored[f] = true
+			continue
+		}
+		break // first non-ignore token starts the free-text reason
+	}
+
+	scalar := resolveScalar(pass, fd, scalarName, methods, funcs)
+	if scalar == nil {
+		pass.Reportf(fd.Pos(),
+			"//emlint:batchpair cannot resolve scalar counterpart %q: expected a sibling method, a package function, or Type.Method in this package",
+			scalarName)
+		return
+	}
+	if scalar == fd {
+		pass.Reportf(fd.Pos(), "//emlint:batchpair %s names the annotated function itself", scalarName)
+		return
+	}
+
+	scalarSet := mutatedFields(pass, scalar, decls)
+	batchSet := mutatedFields(pass, fd, decls)
+
+	var missing []string
+	for name := range scalarSet {
+		if !batchSet[name] && !ignored[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Pos(),
+			"batch kernel %s does not mutate field %q, which scalar counterpart %s mutates; the paths have drifted (fold it into the batch path, or exempt a reviewed divergence with -%s)",
+			fd.Name.Name, name, scalarName, name)
+	}
+
+	var stale []string
+	for name := range ignored {
+		if !scalarSet[name] || batchSet[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		pass.Reportf(fd.Pos(),
+			"//emlint:batchpair exemption -%s is stale: %q is no longer a scalar-only mutation of %s (remove the token)",
+			name, name, scalarName)
+	}
+}
+
+// resolveScalar finds the FuncDecl the directive's scalar name refers
+// to: Type.Method, a method on fd's own receiver type, or a
+// package-level function — in that order.
+func resolveScalar(pass *analysis.Pass, fd *ast.FuncDecl, name string,
+	methods map[*types.Named]map[string]*ast.FuncDecl,
+	funcs map[string]*ast.FuncDecl) *ast.FuncDecl {
+
+	if typeName, methodName, ok := strings.Cut(name, "."); ok {
+		obj := pass.Pkg.Scope().Lookup(typeName)
+		if obj == nil {
+			return nil
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		return methods[named][methodName]
+	}
+	if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		if named := receiverNamed(fn); named != nil {
+			if m := methods[named][name]; m != nil {
+				return m
+			}
+		}
+	}
+	return funcs[name]
+}
+
+// receiverNamed returns the named type fn is a method on, or nil.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// mutatedFields walks root and every same-package function statically
+// reachable from it, collecting the names of struct fields mutated by
+// assignment, ++/--, or a mutator-method call. Names, not objects:
+// scalar and batch paths may live on different receiver types (Reader
+// vs BatchReader) whose parallel fields share spelling by construction.
+func mutatedFields(pass *analysis.Pass, root *ast.FuncDecl,
+	decls map[*types.Func]*ast.FuncDecl) map[string]bool {
+
+	seen := make(map[*ast.FuncDecl]bool)
+	got := make(map[string]bool)
+	queue := []*ast.FuncDecl{root}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd == nil || seen[fd] || fd.Body == nil {
+			continue
+		}
+		seen[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if name := mutatedName(pass, lhs); name != "" {
+						got[name] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if name := mutatedName(pass, n.X); name != "" {
+					got[name] = true
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && mutators[sel.Sel.Name] {
+					if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+						if name := mutatedName(pass, sel.X); name != "" {
+							got[name] = true
+						}
+					}
+				}
+				if fn := analysis.FuncOf(pass.TypesInfo, n); fn != nil {
+					if callee, ok := decls[fn]; ok && !seen[callee] {
+						queue = append(queue, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return got
+}
+
+// mutatedName returns the outermost struct-field name selected by e, or
+// "" if e bottoms out in a plain identifier (a local — batch
+// accumulators are locals until the fold) or a non-field selection.
+// Only the outermost field counts: `t.r.sum = x` mutates sum, not r.
+func mutatedName(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return x.Sel.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package batchparity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/batchparity"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, batchparity.Analyzer, "testdata/src/parity")
+}

@@ -1,0 +1,105 @@
+// Package parity is the golden fixture for the emlint batchparity
+// analyzer: a scalar/batch kernel pair that drifted (the seeded bug the
+// analyzer exists to catch), a pair in parity, a cross-type pair with a
+// reviewed exemption and a stale one, and the directive error cases.
+package parity
+
+// Stats mirrors the simulator's counter block.
+type Stats struct {
+	Refs   uint64
+	Loads  uint64
+	Stores uint64
+}
+
+// Counter is a telemetry-style cell whose Add call counts as mutating
+// the field it is invoked on.
+type Counter struct{ v uint64 }
+
+// Add increments the cell.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Sim owns one scalar path and two batch paths.
+type Sim struct {
+	st  Stats
+	ops Counter
+}
+
+// Access is the scalar reference path: every event counts a reference,
+// lands in Loads or Stores, and ticks the ops counter.
+func (s *Sim) Access(load bool) {
+	s.st.Refs++
+	if load {
+		s.st.Loads++
+	} else {
+		s.st.Stores++
+	}
+	s.ops.Add(1)
+}
+
+// AccessBatch is the seeded drift: the fold forgot the store column.
+//
+//emlint:batchpair Access
+func (s *Sim) AccessBatch(loads, stores int) { // want `does not mutate field "Stores"`
+	s.st.Refs += uint64(loads + stores)
+	s.st.Loads += uint64(loads)
+	s.ops.Add(uint64(loads + stores))
+}
+
+// Deliver is the scalar path of the in-parity pair.
+func (s *Sim) Deliver() {
+	s.st.Refs++
+	s.st.Stores++
+	s.ops.Add(1)
+}
+
+// DeliverBatch folds the same fields Deliver mutates: clean.
+//
+//emlint:batchpair Deliver
+func (s *Sim) DeliverBatch(n int) {
+	s.st.Refs += uint64(n)
+	s.st.Stores += uint64(n)
+	s.ops.Add(uint64(n))
+}
+
+// Reader is the scalar decoder, with a salvage counter the strict batch
+// decoder deliberately lacks.
+type Reader struct {
+	events  uint64
+	skipped uint64
+}
+
+// Replay decodes one record at a time, counting salvage skips.
+func (r *Reader) Replay(n int) {
+	r.events += uint64(n)
+	r.skipped++
+}
+
+// BatchDecoder is the strict columnar counterpart.
+type BatchDecoder struct {
+	events uint64
+	pos    int
+}
+
+// NextBatch exempts the reviewed skipped divergence; the -events token
+// is stale because both paths mutate events.
+//
+//emlint:batchpair Reader.Replay -skipped -events strict decoder has no salvage mode
+func (b *BatchDecoder) NextBatch(n int) { // want `exemption -events is stale`
+	b.events += uint64(n)
+	b.pos += n
+}
+
+// BadRef names a scalar that does not exist.
+//
+//emlint:batchpair Nope
+func (s *Sim) BadRef() {} // want `cannot resolve scalar counterpart "Nope"`
+
+// BadSelf names the annotated function itself.
+//
+//emlint:batchpair BadSelf
+func (s *Sim) BadSelf() {} // want `names the annotated function itself`
+
+// BadEmpty forgets the operand.
+//
+//emlint:batchpair
+func (s *Sim) BadEmpty() {} // want `needs a scalar counterpart name`

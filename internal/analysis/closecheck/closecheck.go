@@ -1,0 +1,180 @@
+// Package closecheck implements the emlint analyzer guarding write-path
+// Close errors. For a file opened for writing — os.Create, os.CreateTemp,
+// or os.OpenFile with a writing flag — the final Close is part of the
+// write: buffered data reaches the kernel (or fails to) at that point,
+// so a dropped Close error is a dropped write error. The analyzer flags
+// the two idioms that silently discard it:
+//
+//	defer f.Close()   // bare defer on a written file
+//	f.Close()         // bare call statement
+//
+// Anything that syntactically consumes the result passes: the
+// ioutilx.CloseKeeping defer, `if err := f.Close(); ...`,
+// `return f.Close()`, an assignment (including the explicit
+// `_ = f.Close()` discard on an error-abort path, which documents the
+// decision where a bare call hides it). Read-only opens (os.Open,
+// OpenFile with O_RDONLY) are exempt: their Close has nothing left to
+// tell the caller.
+package closecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags dropped Close errors on written files.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: `require Close errors of written files to be captured
+
+Files opened for writing via os.Create/os.CreateTemp/os.OpenFile must
+not discard Close's error: use an err-keeping defer
+(ioutilx.CloseKeeping) or check the returned error. A bare
+defer f.Close() or f.Close() statement on such a file is a diagnostic.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc finds written-file opens in fd and audits every Close of
+// the resulting variable within the whole declaration (closures
+// included — a deferred closure closing the file is still this
+// function's teardown).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	written := make(map[types.Object]string) // file var → opening call, e.g. "os.Create"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		opener, ok := writingOpen(pass, call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			written[obj] = opener
+		}
+		return true
+	})
+	if len(written) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if obj, ok := closeOf(pass, st.Call, written); ok {
+				pass.Reportf(st.Pos(),
+					"Close error dropped: bare defer %s.Close() on a file opened for writing (%s); use an err-keeping defer (ioutilx.CloseKeeping) or check the error",
+					obj.Name(), written[obj])
+			}
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if obj, ok := closeOf(pass, call, written); ok {
+					pass.Reportf(st.Pos(),
+						"Close error dropped: %s was opened for writing (%s); check the error, or discard it explicitly with `_ = %s.Close()` on an abort path",
+						obj.Name(), written[obj], obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closeOf reports whether call is `f.Close()` for a tracked written
+// file f, returning f's object.
+func closeOf(pass *analysis.Pass, call *ast.CallExpr, written map[types.Object]string) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	_, tracked := written[obj]
+	return obj, tracked
+}
+
+// writingOpen reports whether call opens a file for writing, returning
+// a description of the opener ("os.Create", "os.OpenFile", ...).
+func writingOpen(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Create", "CreateTemp":
+		return "os." + fn.Name(), true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return "", false
+		}
+		if !writesWithFlags(pass, call.Args[1], fn.Pkg()) {
+			return "", false
+		}
+		return "os.OpenFile", true
+	}
+	return "", false
+}
+
+// writesWithFlags decides whether an os.OpenFile flag argument opens
+// for writing. The flag constants are platform-dependent, so their
+// values are read from the imported os package rather than hard-coded;
+// a non-constant flag expression is conservatively treated as writing.
+func writesWithFlags(pass *analysis.Pass, arg ast.Expr, osPkg *types.Package) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil {
+		return true // dynamic flags: assume the worst
+	}
+	flags, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return true
+	}
+	var writeMask int64
+	for _, name := range []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"} {
+		c, ok := osPkg.Scope().Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		writeMask |= v
+	}
+	return flags&writeMask != 0
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closecheck"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, closecheck.Analyzer, "testdata/src/closed")
+}

@@ -1,0 +1,104 @@
+// Package closed is the golden fixture for the emlint closecheck
+// analyzer: written files whose Close error is dropped (the bare defer
+// and the bare statement), every accepted way of keeping it, and the
+// read-only opens the rule exempts.
+package closed
+
+import (
+	"io"
+	"os"
+)
+
+// BadDefer drops the write's final error in the classic bare defer.
+func BadDefer(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error dropped: bare defer f\.Close\(\)`
+	_, err = f.WriteString("x")
+	return err
+}
+
+// BadStmt discards the error in a bare call statement.
+func BadStmt(p string) error {
+	f, err := os.CreateTemp("", p)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `Close error dropped: f was opened for writing`
+	return nil
+}
+
+// BadOpenFileWrite: append handles carry buffered write errors into
+// Close like any other write handle.
+func BadOpenFileWrite(p string) error {
+	f, err := os.OpenFile(p, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `opened for writing \(os\.OpenFile\)`
+	_, err = f.WriteString("x")
+	return err
+}
+
+// BadDynamicFlags: a non-constant flag argument is conservatively a
+// write open.
+func BadDynamicFlags(p string, flags int) error {
+	f, err := os.OpenFile(p, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `opened for writing`
+	return nil
+}
+
+// GoodChecked keeps the error on both the abort and success paths.
+func GoodChecked(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.WriteString("x"); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// GoodKeeping folds the Close error into the named return, the
+// ioutilx.CloseKeeping shape.
+func GoodKeeping(p string) (err error) {
+	f, cerr := os.Create(p)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// GoodReadOnly: a read handle's Close has nothing left to report.
+func GoodReadOnly(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.ReadAll(f)
+	return err
+}
+
+// GoodReadOnlyFlags: OpenFile with O_RDONLY is a read handle too.
+func GoodReadOnlyFlags(p string) error {
+	f, err := os.OpenFile(p, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

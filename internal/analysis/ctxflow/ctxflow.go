@@ -1,0 +1,204 @@
+// Package ctxflow implements the emlint analyzer guarding goroutine
+// cancellability in the concurrent service layer. A goroutine that
+// cannot observe cancellation outlives drain: it keeps a worker busy
+// after the deadline, holds the process open past SIGTERM, or leaks
+// outright. The rule is simple enough to hold in review: every `go`
+// statement in a patrolled package must thread a context.Context into
+// the spawned work — as a call argument, a captured variable, or a
+// struct ctx field the body reads — and the context must not be a
+// literal context.Background()/context.TODO() (which is the *absence*
+// of cancellation wearing the type). Goroutines whose lifetime is
+// bounded some other way (an http.Server handed to Shutdown, a
+// WaitGroup-bounded waiter) opt out with `//emlint:detached <reason>`
+// on the go statement's line or the line above — the reason is
+// mandatory, so the contract that bounds the goroutine is written next
+// to it.
+//
+// HTTP handlers get the complementary check: a handler body must not
+// mint its own context.Background()/TODO() — the request carries the
+// cancellable one (r.Context()), and ignoring it means work survives
+// the client that asked for it.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces context flow into goroutines and handlers.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `require goroutines to receive a context.Context and handlers to use r.Context()
+
+Every go statement must pass or capture a cancellable context.Context
+(not a literal Background/TODO); annotate reviewed detached goroutines
+//emlint:detached <reason>. HTTP handler bodies must not call
+context.Background or context.TODO — use r.Context().`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd)
+			if isHandler(pass, fd.Type) {
+				checkHandlerBody(pass, fd.Name.Name, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoStmts audits every go statement in fd.
+func checkGoStmts(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Handler-shaped function literals (mux.HandleFunc closures) get
+		// the handler check too.
+		if lit, ok := n.(*ast.FuncLit); ok && isHandler(pass, lit.Type) {
+			checkHandlerBody(pass, fd.Name.Name+" (handler literal)", lit.Body)
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if reason, ok := pass.Directives.ArgOnLineOrAbove(pass.Fset, g, analysis.DirDetached); ok {
+			if reason == "" {
+				pass.Reportf(g.Pos(), "//emlint:detached needs a reason: state what bounds this goroutine's lifetime")
+			}
+			return true
+		}
+		if cancellable(pass, g.Call) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine in %s has no cancellable context: pass a context.Context (or read one from a struct field) so drain/shutdown can stop it, or annotate //emlint:detached <reason>",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// cancellable reports whether the spawned call can observe a context:
+// a context-typed argument (not a literal Background/TODO), or — for a
+// function literal — a context-typed variable or field its body reads.
+func cancellable(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContext(pass, arg) && !isBackgroundCall(pass, arg) {
+			return true
+		}
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal && isContextType(sel.Obj().Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContext reports whether expr's static type is context.Context.
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && isContextType(tv.Type)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isBackgroundCall reports whether e is a direct context.Background()
+// or context.TODO() call — the type without the cancellation.
+func isBackgroundCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// isHandler reports whether a function type has the http.HandlerFunc
+// shape: (http.ResponseWriter, *http.Request).
+func isHandler(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil || ft.Params.NumFields() != 2 {
+		return false
+	}
+	var ptypes []types.Type
+	for _, f := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok {
+			return false
+		}
+		for range max(1, len(f.Names)) {
+			ptypes = append(ptypes, tv.Type)
+		}
+	}
+	if len(ptypes) != 2 {
+		return false
+	}
+	return isHTTPType(ptypes[0], "ResponseWriter", false) && isHTTPType(ptypes[1], "Request", true)
+}
+
+// isHTTPType matches net/http.Name (optionally behind a pointer).
+func isHTTPType(t types.Type, name string, ptr bool) bool {
+	if ptr {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkHandlerBody flags context.Background/TODO calls inside an HTTP
+// handler: the request already carries the context the work should use.
+func checkHandlerBody(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBackgroundCall(pass, call) {
+			pass.Reportf(call.Pos(),
+				"HTTP handler %s mints its own context (%s): use r.Context() so a disconnected client cancels the work",
+				name, types.ExprString(call))
+		}
+		return true
+	})
+}

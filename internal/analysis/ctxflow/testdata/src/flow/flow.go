@@ -1,0 +1,93 @@
+// Package flow is the golden fixture for the emlint ctxflow analyzer:
+// goroutines spawned every way the service layer does (context
+// argument, captured variable, struct field, reviewed detached), the
+// spawn shapes that cannot observe cancellation, and the handler-side
+// rule that request work uses r.Context().
+package flow
+
+import (
+	"context"
+	"net/http"
+)
+
+type server struct {
+	ctx context.Context
+}
+
+func work(ctx context.Context) { <-ctx.Done() }
+
+func use(ctx context.Context) { _ = ctx }
+
+func tick() {}
+
+// BadNoContext launches work nothing can stop.
+func BadNoContext() {
+	go tick() // want `has no cancellable context`
+}
+
+// BadBackground wears the context type without the cancellation.
+func BadBackground() {
+	go work(context.Background()) // want `has no cancellable context`
+}
+
+// BadTODO is the same absence spelled TODO.
+func BadTODO() {
+	go work(context.TODO()) // want `has no cancellable context`
+}
+
+// GoodArg threads the caller's context through the call.
+func GoodArg(ctx context.Context) {
+	go work(ctx)
+}
+
+// GoodCapture captures a context variable in the literal.
+func GoodCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GoodField reads the owning struct's context field.
+func (s *server) GoodField() {
+	go func() {
+		<-s.ctx.Done()
+	}()
+}
+
+// GoodDetached documents what bounds the goroutine instead.
+func GoodDetached() {
+	//emlint:detached bounded by the process: dies with main
+	go tick()
+}
+
+// BadDetachedNoReason has the annotation but not the contract.
+func BadDetachedNoReason() {
+	//emlint:detached
+	go tick() // want `needs a reason`
+}
+
+// BadHandler mints its own context instead of using the request's.
+func BadHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `mints its own context`
+	use(ctx)
+	_ = w
+}
+
+// GoodHandler uses the request's context.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	use(r.Context())
+	_ = w
+}
+
+// GoodHandlerSpawn hands the request context to the goroutine.
+func GoodHandlerSpawn(w http.ResponseWriter, r *http.Request) {
+	go work(r.Context())
+	_ = w
+}
+
+// Register wires a handler literal; the handler rule follows it there.
+func Register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		use(context.TODO()) // want `mints its own context`
+	})
+}

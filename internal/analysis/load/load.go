@@ -21,9 +21,19 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 )
+
+// listCalls counts goList invocations process-wide. The suite's
+// single-load driver test asserts linting a package tree costs exactly
+// one `go list` run, which is the whole point of sharing the
+// type-checked set across analyzers.
+var listCalls atomic.Int64
+
+// ListCalls returns the number of `go list` invocations so far.
+func ListCalls() int64 { return listCalls.Load() }
 
 // Package is one parsed, typechecked package.
 type Package struct {
@@ -48,6 +58,7 @@ type listedPackage struct {
 // goList runs `go list -export -deps -json=...` in dir for the given
 // patterns and decodes the JSON stream.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
+	listCalls.Add(1)
 	args := append([]string{
 		"list", "-export", "-deps",
 		"-json=ImportPath,Dir,Export,GoFiles,Name,DepOnly",

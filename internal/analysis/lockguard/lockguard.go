@@ -1,0 +1,254 @@
+// Package lockguard implements the emlint analyzer enforcing declared
+// mutex-protection contracts. A struct field annotated
+// `//emlint:guardedby <mu>` names a sibling mutex field; every function
+// that reads or writes the annotated field must lexically acquire that
+// mutex — a `<x>.<mu>.Lock()` or `RLock()` call paired with an
+// `Unlock`/`RUnlock` (deferred or explicit) somewhere in the same
+// function — or document its calling convention with
+// `//emlint:locked <mu>` (the caller holds the lock). The service
+// layer's drain flag, the result cache's entry map, the health
+// checker's probe list and the live-metrics snapshot map all carry the
+// annotation; a future method touching them without the lock becomes a
+// vet-time diagnostic instead of a data race found (or missed) by the
+// race detector.
+//
+// The check is lexical, not a happens-before proof: it catches the
+// overwhelmingly common bug — a new accessor that simply forgets the
+// lock — and leaves interleaving-sensitive protocols to the race
+// detector. Accesses inside function literals are attributed to the
+// literal itself (a closure may outlive the caller's critical section),
+// so a closure needs its own acquisition or an `//emlint:locked <mu>`
+// annotation on its own line.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces //emlint:guardedby field contracts.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: `require functions touching //emlint:guardedby fields to hold the named mutex
+
+A field annotated //emlint:guardedby <mu> may only be referenced inside
+functions that lexically acquire <mu> (Lock/RLock with a paired
+Unlock/RUnlock) or are annotated //emlint:locked <mu>.`,
+	Run: run,
+}
+
+// guardedField records one annotated field and the mutex guarding it.
+type guardedField struct {
+	owner *types.Named
+	mu    string
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, guarded, fd.Name.Name, fd, fd.Body, lockedArgs(pass, fd))
+		}
+	}
+	return nil
+}
+
+// collectGuarded finds every //emlint:guardedby field, validating that
+// the named mutex is a sibling field of the same struct.
+func collectGuarded(pass *analysis.Pass) map[*types.Var]guardedField {
+	guarded := make(map[*types.Var]guardedField)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				def := pass.TypesInfo.Defs[ts.Name]
+				if def == nil {
+					continue
+				}
+				named, ok := def.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				siblings := make(map[string]bool)
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						siblings[n.Name] = true
+					}
+				}
+				for _, f := range st.Fields.List {
+					arg, ok := analysis.FieldArg(f, analysis.DirGuardedBy)
+					if !ok {
+						continue
+					}
+					if arg == "" {
+						pass.Reportf(f.Pos(), "//emlint:guardedby needs a mutex field name (e.g. //emlint:guardedby mu)")
+						continue
+					}
+					mu := firstField(arg)
+					if !siblings[mu] {
+						pass.Reportf(f.Pos(), "//emlint:guardedby names %q, which is not a field of %s", mu, ts.Name.Name)
+						continue
+					}
+					for _, n := range f.Names {
+						if v, ok := pass.TypesInfo.Defs[n].(*types.Var); ok {
+							guarded[v] = guardedField{owner: named, mu: mu}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+// firstField returns the first whitespace-separated token of s.
+func firstField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// lockedArgs returns the mutex names a FuncDecl declares via
+// //emlint:locked annotations in its doc comment.
+func lockedArgs(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	locked := make(map[string]bool)
+	for _, arg := range analysis.FuncArgs(fd, analysis.DirLocked) {
+		if mu := firstField(arg); mu != "" {
+			locked[mu] = true
+		}
+	}
+	return locked
+}
+
+// checkScope audits one function scope (a FuncDecl body or a FuncLit
+// body): guarded-field references must be covered by a lexical
+// acquisition in this scope or by a locked annotation. Nested function
+// literals become their own scopes — a closure does not inherit the
+// enclosing critical section, because it may run after it.
+func checkScope(pass *analysis.Pass, guarded map[*types.Var]guardedField,
+	name string, scope ast.Node, body *ast.BlockStmt, locked map[string]bool) {
+
+	locks, unlocks := lockCalls(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != scope {
+			litLocked := make(map[string]bool)
+			if arg, ok := pass.Directives.ArgOnLineOrAbove(pass.Fset, lit, analysis.DirLocked); ok {
+				if mu := firstField(arg); mu != "" {
+					litLocked[mu] = true
+				}
+			}
+			checkScope(pass, guarded, name+" (closure)", lit, lit.Body, litLocked)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		if locked[g.mu] {
+			return true
+		}
+		if locks[g.mu] && unlocks[g.mu] {
+			return true
+		}
+		hint := "acquire it (with a paired Unlock) or annotate the function //emlint:locked " + g.mu
+		if locks[g.mu] && !unlocks[g.mu] {
+			hint = "the acquisition has no paired Unlock/RUnlock in this function"
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s.%s is guarded by %q (//emlint:guardedby) but %s does not hold it: %s",
+			g.owner.Obj().Name(), v.Name(), g.mu, name, hint)
+		return true
+	})
+}
+
+// lockCalls scans a scope body for mutex acquisitions and releases,
+// keyed by the mutex's field (or variable) name. Acquisitions inside
+// nested function literals do not count — a closure locking for itself
+// does not protect the enclosing body — but releases do, covering the
+// `defer func() { ...; mu.Unlock() }()` teardown idiom.
+func lockCalls(body *ast.BlockStmt) (locks, unlocks map[string]bool) {
+	locks = make(map[string]bool)
+	unlocks = make(map[string]bool)
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && m != n {
+				walk(lit.Body, true)
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			mu, ok := mutexName(fun.X)
+			if !ok {
+				return true
+			}
+			switch fun.Sel.Name {
+			case "Lock", "RLock":
+				if !inLit {
+					locks[mu] = true
+				}
+			case "Unlock", "RUnlock":
+				unlocks[mu] = true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return locks, unlocks
+}
+
+// mutexName extracts the trailing identifier of a mutex expression:
+// `s.mu` → "mu", `mu` → "mu".
+func mutexName(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,124 @@
+// Package guarded is the golden fixture for the emlint lockguard
+// analyzer: a struct with //emlint:guardedby fields, accessors that
+// honour the contract every way the repository does (defer-unlock,
+// explicit unlock, RLock, the locked calling convention, the
+// defer-closure teardown), and accessors that violate it every way a
+// future edit could.
+package guarded
+
+import "sync"
+
+// Registry is concurrent state under a declared lock contract.
+type Registry struct {
+	mu sync.Mutex
+	//emlint:guardedby mu
+	entries map[string]int
+	//emlint:guardedby mu
+	order []string
+	hits  int // unguarded: free to touch anywhere
+}
+
+// Get reads under the idiomatic defer-unlock pair.
+func (r *Registry) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[k]
+}
+
+// Put writes under an explicit Lock/Unlock pair.
+func (r *Registry) Put(k string, v int) {
+	r.mu.Lock()
+	r.entries[k] = v
+	r.order = append(r.order, k)
+	r.mu.Unlock()
+}
+
+// lockedLen documents the caller-holds-the-lock convention.
+//
+//emlint:locked mu
+func (r *Registry) lockedLen() int {
+	return len(r.entries)
+}
+
+// PutDeferredTeardown releases through a deferred closure; the release
+// still counts for the enclosing body.
+func (r *Registry) PutDeferredTeardown(k string, v int) {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+	}()
+	r.entries[k] = v
+}
+
+// Touch only reads the unguarded field: no contract applies.
+func (r *Registry) Touch() int {
+	r.hits++
+	return r.hits
+}
+
+// BadGet reads without the lock.
+func (r *Registry) BadGet(k string) int {
+	return r.entries[k] // want `field Registry.entries is guarded by "mu" .* BadGet does not hold it`
+}
+
+// BadHalf acquires but never releases, so the "critical section" is
+// really a poisoned lock.
+func (r *Registry) BadHalf(k string) int {
+	r.mu.Lock()
+	return r.entries[k] // want `no paired Unlock`
+}
+
+// BadClosure returns a closure that touches guarded state: it may run
+// after the method's critical section ended.
+func (r *Registry) BadClosure() func() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() int {
+		return len(r.order) // want `BadClosure \(closure\) does not hold it`
+	}
+}
+
+// GoodClosureLocked documents the closure's convention on its own line.
+func (r *Registry) GoodClosureLocked() func() int {
+	//emlint:locked mu
+	return func() int {
+		return len(r.order)
+	}
+}
+
+// GoodClosureOwnLock has the closure acquire for itself.
+func (r *Registry) GoodClosureOwnLock() func() int {
+	return func() int {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return len(r.entries)
+	}
+}
+
+// Shared is read-mostly state under an RWMutex.
+type Shared struct {
+	mu sync.RWMutex
+	//emlint:guardedby mu
+	m map[string]int
+}
+
+// Load reads under the read lock.
+func (s *Shared) Load(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+// Wrong names a mutex that is not a sibling field.
+type Wrong struct {
+	mu sync.Mutex
+	//emlint:guardedby lock
+	data int // want `names "lock", which is not a field of Wrong`
+}
+
+// Empty forgets the operand.
+type Empty struct {
+	mu sync.Mutex
+	//emlint:guardedby
+	n int // want `needs a mutex field name`
+}

@@ -1,0 +1,104 @@
+package suite
+
+// baseline.go implements the triage ledger that lets CI enforce "no
+// NEW diagnostics" without a flag day: ci/emlint.baseline holds one
+// line per accepted finding (file: analyzer: message — no line number,
+// so surrounding edits don't invalidate entries), with `#` comments
+// carrying the triage reason. A finding matching a baseline entry is
+// reported as baselined (SARIF baselineState "unchanged") and does not
+// fail the build; anything else is new and does. Matching is a
+// multiset: two identical diagnostics in one file need two entries, so
+// a triaged pattern cannot silently absorb a fresh instance of itself.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a multiset of accepted finding keys.
+type Baseline struct {
+	counts map[string]int
+}
+
+// ParseBaseline reads the baseline format: one Finding.Key per line,
+// blank lines and `#` comments ignored.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{counts: make(map[string]int)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline (the repo starts clean), any other error is reported.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ParseBaseline(nil), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(data), nil
+}
+
+// Len returns the number of entries (counting duplicates).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Split partitions findings into new (not covered by the baseline) and
+// baselined, consuming one baseline entry per matched finding. Order is
+// preserved within each partition.
+func (b *Baseline) Split(findings []Finding) (fresh, baselined []Finding) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	for _, f := range findings {
+		if remaining[f.Key()] > 0 {
+			remaining[f.Key()]--
+			baselined = append(baselined, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, baselined
+}
+
+// FormatBaseline renders findings as a baseline file: a header
+// explaining the contract, then one key per line, sorted and
+// deduplicated only by identical adjacency (multiset semantics keep
+// genuine duplicates as repeated lines).
+func FormatBaseline(findings []Finding) []byte {
+	keys := make([]string, len(findings))
+	for i, f := range findings {
+		keys[i] = f.Key()
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# emlint baseline — accepted diagnostics that do not fail CI.\n" +
+		"# One \"file: analyzer: message\" line per accepted finding (no line\n" +
+		"# numbers: entries survive unrelated edits). Every entry must carry a\n" +
+		"# triage reason as a comment above it. Regenerate with\n" +
+		"# `make lint-baseline` and review the diff.\n")
+	for _, k := range keys {
+		fmt.Fprintln(&buf, k)
+	}
+	return buf.Bytes()
+}

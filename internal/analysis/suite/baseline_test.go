@@ -1,0 +1,83 @@
+package suite_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/suite"
+)
+
+func finding(file, analyzer, msg string) suite.Finding {
+	return suite.Finding{Analyzer: analyzer, File: file, Line: 1, Column: 1, Message: msg}
+}
+
+func TestParseBaselineSkipsCommentsAndBlanks(t *testing.T) {
+	b := suite.ParseBaseline([]byte(
+		"# triage: reviewed 2026-08, the flag is config, not state\n" +
+			"a.go: lockguard: msg one\n" +
+			"\n" +
+			"  # indented comment\n" +
+			"b.go: ctxflow: msg two\n"))
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestSplitMultisetSemantics(t *testing.T) {
+	// Two identical accepted findings, three occurrences in the run: the
+	// third is fresh — a triaged pattern must not absorb new instances.
+	dup := finding("a.go", "lockguard", "same message")
+	b := suite.ParseBaseline([]byte(dup.Key() + "\n" + dup.Key() + "\n"))
+	fresh, baselined := b.Split([]suite.Finding{dup, dup, dup, finding("b.go", "ctxflow", "other")})
+	if len(baselined) != 2 {
+		t.Errorf("baselined = %d findings, want 2", len(baselined))
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %d findings, want 2 (the extra duplicate and the unknown)", len(fresh))
+	}
+	if fresh[0].Key() != dup.Key() || fresh[1].File != "b.go" {
+		t.Errorf("fresh = %+v, want the third duplicate then b.go", fresh)
+	}
+}
+
+func TestSplitIgnoresLineNumbers(t *testing.T) {
+	accepted := finding("a.go", "lockguard", "msg")
+	b := suite.ParseBaseline([]byte(accepted.Key() + "\n"))
+	moved := accepted
+	moved.Line = 999 // the diagnostic drifted down the file
+	fresh, baselined := b.Split([]suite.Finding{moved})
+	if len(fresh) != 0 || len(baselined) != 1 {
+		t.Errorf("fresh=%d baselined=%d, want 0/1: keys must not include line numbers", len(fresh), len(baselined))
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	fs := []suite.Finding{
+		finding("b.go", "ctxflow", "zz"),
+		finding("a.go", "lockguard", "dup"),
+		finding("a.go", "lockguard", "dup"),
+	}
+	data := suite.FormatBaseline(fs)
+	if !bytes.HasPrefix(data, []byte("#")) {
+		t.Errorf("FormatBaseline output lacks the header comment")
+	}
+	b := suite.ParseBaseline(data)
+	if b.Len() != 3 {
+		t.Fatalf("round-trip Len = %d, want 3 (duplicates preserved)", b.Len())
+	}
+	fresh, _ := b.Split(fs)
+	if len(fresh) != 0 {
+		t.Errorf("round-trip left %d findings uncovered: %+v", len(fresh), fresh)
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := suite.LoadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing baseline must be empty, not an error: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d, want 0", b.Len())
+	}
+}

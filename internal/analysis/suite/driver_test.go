@@ -1,0 +1,29 @@
+package suite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// TestLintSingleLoad pins the v2 driver contract: one Lint call does
+// exactly one `go list` package load no matter how many patterns,
+// packages or analyzers it fans out to — and the patrolled packages it
+// loads here are diagnostic-free.
+func TestLintSingleLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads real packages via go list")
+	}
+	before := load.ListCalls()
+	findings, err := suite.Lint("../../..", "./internal/ioutilx", "./internal/health")
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if calls := load.ListCalls() - before; calls != 1 {
+		t.Errorf("Lint ran %d package loads, want exactly 1", calls)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s:%d: %s (%s)", f.File, f.Line, f.Message, f.Analyzer)
+	}
+}

@@ -11,14 +11,26 @@
 //   - snapshotcomplete and hotpath: every package (they trigger only
 //     on snapshot pairs and annotations respectively);
 //   - nopanic: library packages under internal/ (commands may panic
-//     at top level; tests are exempt inside the analyzers).
+//     at top level; tests are exempt inside the analyzers);
+//   - lockguard, batchparity, closecheck: every in-module package (like
+//     snapshotcomplete they trigger only on annotations, so patrolling
+//     everywhere costs nothing and catches annotations wherever they
+//     appear);
+//   - ctxflow: the concurrent service layer (service, runner, health,
+//     telhttp, cmd/emsimd) — the packages whose goroutines must honour
+//     drain/shutdown. The batch kernels and report code spawn nothing,
+//     and cmd/emsim's top-level goroutines die with the process.
 package suite
 
 import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/batchparity"
+	"repro/internal/analysis/closecheck"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/nondeterminism"
 	"repro/internal/analysis/nopanic"
 	"repro/internal/analysis/snapshotcomplete"
@@ -33,6 +45,10 @@ var All = []*analysis.Analyzer{
 	snapshotcomplete.Analyzer,
 	hotpath.Analyzer,
 	nopanic.Analyzer,
+	lockguard.Analyzer,
+	batchparity.Analyzer,
+	ctxflow.Analyzer,
+	closecheck.Analyzer,
 }
 
 // resultPackages are the packages whose outputs feed tables, figures
@@ -58,6 +74,16 @@ var resultPackages = map[string]bool{
 	ModulePath + "/internal/cache":    true,
 }
 
+// ctxPackages are the packages whose goroutines participate in the
+// drain/shutdown protocol: spawned work must be cancellable (ctxflow).
+var ctxPackages = map[string]bool{
+	ModulePath + "/internal/service":           true,
+	ModulePath + "/internal/runner":            true,
+	ModulePath + "/internal/health":            true,
+	ModulePath + "/internal/telemetry/telhttp": true,
+	ModulePath + "/cmd/emsimd":                 true,
+}
+
 // InModule reports whether pkgPath belongs to this module (and is not
 // a synthesised test-main package).
 func InModule(pkgPath string) bool {
@@ -81,5 +107,10 @@ func ForPackage(pkgPath string) []*analysis.Analyzer {
 	if strings.HasPrefix(pkgPath, ModulePath+"/internal/") {
 		as = append(as, nopanic.Analyzer)
 	}
+	as = append(as, lockguard.Analyzer, batchparity.Analyzer)
+	if ctxPackages[pkgPath] {
+		as = append(as, ctxflow.Analyzer)
+	}
+	as = append(as, closecheck.Analyzer)
 	return as
 }

@@ -21,17 +21,27 @@ func TestForPackage(t *testing.T) {
 		}
 		return out
 	}
+	// Shorthand tiers: result packages get the full battery, library
+	// packages drop nondeterminism, commands drop nopanic too; ctxflow
+	// joins only in the concurrent service layer.
+	result := []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic", "lockguard", "batchparity", "closecheck"}
+	resultCtx := []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic", "lockguard", "batchparity", "ctxflow", "closecheck"}
 	cases := []struct {
 		pkg  string
 		want []string
 	}{
-		{"repro/internal/report", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/machine", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/service", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/cache", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/mem", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/internal/trace", []string{"nondeterminism", "snapshotcomplete", "hotpath", "nopanic"}},
-		{"repro/cmd/emsim", []string{"snapshotcomplete", "hotpath"}},
+		{"repro/internal/report", result},
+		{"repro/internal/machine", result},
+		{"repro/internal/cache", result},
+		{"repro/internal/mem", result},
+		{"repro/internal/trace", result},
+		{"repro/internal/service", resultCtx},
+		{"repro/internal/runner", resultCtx},
+		{"repro/internal/health", resultCtx},
+		{"repro/internal/telemetry/telhttp", []string{"snapshotcomplete", "hotpath", "nopanic", "lockguard", "batchparity", "ctxflow", "closecheck"}},
+		{"repro/internal/ioutilx", []string{"snapshotcomplete", "hotpath", "nopanic", "lockguard", "batchparity", "closecheck"}},
+		{"repro/cmd/emsim", []string{"snapshotcomplete", "hotpath", "lockguard", "batchparity", "closecheck"}},
+		{"repro/cmd/emsimd", []string{"snapshotcomplete", "hotpath", "lockguard", "batchparity", "ctxflow", "closecheck"}},
 		{"repro/internal/runner.test", nil},
 		{"fmt", nil},
 		{"example.com/other", nil},

@@ -1,13 +1,17 @@
 // Package clean is the suite-wide negative fixture: it exercises the
 // territory every emlint analyzer patrols — map iteration feeding
 // results, a snapshot pair, an annotated hot function, fallible
-// construction — written the way the repository's invariants demand,
-// so the whole suite must report nothing.
+// construction, mutex-guarded state, a scalar/batch kernel pair, a
+// bounded goroutine fan-out and a written file — written the way the
+// repository's invariants demand, so the whole suite must report
+// nothing.
 package clean
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"sync"
 )
 
 // Counter aggregates event counts and snapshots completely.
@@ -75,11 +79,61 @@ func (c *Counter) SetState(s CounterState) {
 	c.total = s.Total
 }
 
+// AddBatch folds a slice of events in one call; the batchpair contract
+// pins it to Add's mutation set.
+//
+//emlint:batchpair Add
+func (c *Counter) AddBatch(names []string) {
+	var n uint64
+	for _, name := range names {
+		c.counts[name]++
+		n++
+	}
+	c.total += n
+}
+
+// Save writes the total out, folding the Close error into the return.
+func (c *Counter) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = fmt.Fprintf(f, "%d\n", c.total)
+	return err
+}
+
+// Gauge is concurrent state under a declared lock contract.
+type Gauge struct {
+	mu sync.Mutex
+	//emlint:guardedby mu
+	value uint64
+}
+
+// Set replaces the value under the lock.
+func (g *Gauge) Set(v uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.value = v
+}
+
+// Value reads under the lock.
+func (g *Gauge) Value() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
 // Sum fans work out to goroutines that write job-indexed slots.
 func Sum(jobs [][]int) []int {
 	results := make([]int, len(jobs))
 	done := make(chan struct{})
 	for i, job := range jobs {
+		//emlint:detached bounded by the done channel: Sum receives once per goroutine before returning
 		go func(i int, job []int) {
 			n := 0
 			for _, v := range job {

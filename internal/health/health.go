@@ -31,7 +31,8 @@ type Probe struct {
 // over HTTP. Register all probes before serving; registration order is
 // response order, so probe output is deterministic.
 type Checker struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//emlint:guardedby mu
 	probes []Probe
 }
 

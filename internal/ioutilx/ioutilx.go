@@ -1,0 +1,29 @@
+// Package ioutilx holds the repository's shared write-path close
+// idiom. A file opened for writing buffers in the kernel and the
+// runtime; the final Close is where a full filesystem or an I/O error
+// often first surfaces, so a dropped Close error is a dropped write
+// error. CloseKeeping is the deferred form every write path uses (and
+// the closecheck analyzer points at): it folds Close's error into the
+// function's named return without displacing an earlier failure.
+package ioutilx
+
+import "io"
+
+// CloseKeeping closes c and records its error into *err unless an
+// earlier error is already there — so a failed flush (e.g. a full
+// filesystem surfacing at Close) cannot exit 0. Use it deferred with a
+// named return:
+//
+//	func write(path string) (err error) {
+//		f, err := os.Create(path)
+//		if err != nil {
+//			return err
+//		}
+//		defer ioutilx.CloseKeeping(&err, f)
+//		...
+//	}
+func CloseKeeping(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}

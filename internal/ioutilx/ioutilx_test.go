@@ -1,0 +1,32 @@
+package ioutilx
+
+import (
+	"errors"
+	"testing"
+)
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+var errClose = errors.New("close failed")
+
+// TestCloseKeeping: the close helper surfaces a Close error only when
+// nothing failed earlier.
+func TestCloseKeeping(t *testing.T) {
+	var err error
+	CloseKeeping(&err, closerFunc(func() error { return nil }))
+	if err != nil {
+		t.Fatalf("clean close set error %v", err)
+	}
+	CloseKeeping(&err, closerFunc(func() error { return errClose }))
+	if err != errClose {
+		t.Fatalf("close error not kept: %v", err)
+	}
+	prior := errors.New("prior failure")
+	err = prior
+	CloseKeeping(&err, closerFunc(func() error { return errClose }))
+	if err != prior {
+		t.Fatalf("close error displaced the primary error: %v", err)
+	}
+}

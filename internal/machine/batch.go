@@ -27,6 +27,8 @@ import "repro/internal/mem"
 // in order, semantically identical to calling Access/Instr one record
 // at a time.
 //
+//emlint:batchpair Access
+//emlint:batchpair Instr
 //emlint:hotpath
 func (m *Machine) AccessBatch(b *mem.Batch) {
 	kinds := b.Kind

@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/ioutilx"
 )
 
 // Checkpoint file format ("EMCKPT1"): an 8-byte magic, a uvarint payload
@@ -126,17 +128,7 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		return err
 	}
 	tmpName := f.Name()
-	if err := WriteCheckpoint(f, ck); err != nil {
-		f.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeAndClose(f, ck); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
@@ -145,6 +137,18 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		return err
 	}
 	return nil
+}
+
+// writeAndClose writes ck to f, syncs and closes it, keeping the first
+// error. The close happens here rather than deferred in SaveCheckpoint
+// because the rename that publishes the checkpoint must only run after
+// a clean close.
+func writeAndClose(f *os.File, ck *Checkpoint) (err error) {
+	defer ioutilx.CloseKeeping(&err, f)
+	if err := WriteCheckpoint(f, ck); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // LoadCheckpoint reads a checkpoint from path.

@@ -86,17 +86,9 @@ func Map[T any](ctx context.Context, n int, cfg Config, fn func(ctx context.Cont
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var (
-		mu       sync.Mutex // guards firstErr/firstIdx and serialises OnDone
-		firstErr error
-		firstIdx = -1
-	)
+	fails := &failures{firstIdx: -1}
 	fail := func(i int, err error) {
-		mu.Lock()
-		if firstIdx == -1 || i < firstIdx {
-			firstIdx, firstErr = i, err
-		}
-		mu.Unlock()
+		fails.record(i, err)
 		cancel()
 	}
 
@@ -117,9 +109,7 @@ func Map[T any](ctx context.Context, n int, cfg Config, fn func(ctx context.Cont
 				}
 				results[i] = r
 				if cfg.OnDone != nil {
-					mu.Lock()
-					cfg.OnDone(i)
-					mu.Unlock()
+					fails.serialize(func() { cfg.OnDone(i) })
 				}
 			}
 		}()
@@ -135,13 +125,51 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	if firstIdx >= 0 {
-		return nil, &JobError{Index: firstIdx, Err: firstErr}
+	if idx, err := fails.first(); idx >= 0 {
+		return nil, &JobError{Index: idx, Err: err}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// failures is Map's cross-worker bookkeeping: the winning (lowest
+// index) job error, plus the mutex that also serialises OnDone
+// callbacks — one lock, so a progress callback never interleaves with
+// error recording.
+type failures struct {
+	mu sync.Mutex
+	//emlint:guardedby mu
+	firstErr error
+	//emlint:guardedby mu
+	firstIdx int // -1 until a job fails
+}
+
+// record notes a failed job, keeping the lowest index so the surfaced
+// error does not depend on scheduling.
+func (f *failures) record(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.firstIdx == -1 || i < f.firstIdx {
+		f.firstIdx, f.firstErr = i, err
+	}
+}
+
+// first returns the lowest failed job index and its error; -1 means
+// every job succeeded.
+func (f *failures) first() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstIdx, f.firstErr
+}
+
+// serialize runs cb under the bookkeeping mutex (the OnDone contract:
+// at most one callback at a time).
+func (f *failures) serialize(cb func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cb()
 }
 
 // Reduce is Map followed by an input-order fold: fn runs on the worker

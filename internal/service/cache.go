@@ -13,10 +13,12 @@ import "sync"
 // output never goes stale, so FIFO is only a memory bound, not a
 // freshness policy).
 type resultCache struct {
-	mu      sync.Mutex
-	max     int
+	mu  sync.Mutex
+	max int
+	//emlint:guardedby mu
 	entries map[string][]byte
-	order   []string // insertion order, oldest first
+	//emlint:guardedby mu
+	order []string // insertion order, oldest first
 }
 
 func newResultCache(max int) *resultCache {

@@ -47,7 +47,11 @@ type RecoveryReport struct {
 // service ready afterwards: a service that cannot recover one file
 // should still serve fresh traffic. Safe to run concurrently with
 // request traffic — recovery jobs take worker slots like any other job
-// and first-result-wins arbitrates duplicates.
+// and first-result-wins arbitrates duplicates. Cancelling ctx stops
+// the scan between files: the remaining checkpoints count as Respooled
+// and stay on disk for the next start (previously only the in-flight
+// resume observed ctx, so a shutdown mid-scan kept loading and
+// re-admitting jobs against its own drain).
 func (s *Service) Recover(ctx context.Context) RecoveryReport {
 	defer s.recoveryDone.Store(true)
 	var rep RecoveryReport
@@ -64,6 +68,10 @@ func (s *Service) Recover(ctx context.Context) RecoveryReport {
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		if ctx.Err() != nil {
+			rep.Respooled++
 			continue
 		}
 		s.recoverOne(ctx, filepath.Join(s.cfg.SpoolDir, e.Name()), &rep)

@@ -124,7 +124,8 @@ type Service struct {
 	cache    *resultCache
 	metrics  Metrics
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//emlint:guardedby mu
 	draining bool
 	jobs     sync.WaitGroup // one unit per admitted request, Add under mu
 
@@ -415,6 +416,7 @@ func (s *Service) Drain(ctx context.Context) (cancelled bool) {
 	s.mu.Unlock()
 
 	done := make(chan struct{})
+	//emlint:detached bounded by the jobs WaitGroup: every admitted job calls Done, cancelJobs forces the stragglers
 	go func() {
 		s.jobs.Wait()
 		close(done)

@@ -73,6 +73,9 @@ func (j *jobSink) checkStop() {
 // flag is checked per batch instead of per event; stops are
 // asynchronous (deadline or drain), so the only effect is that a
 // cancelled job runs on for at most one batch before spooling.
+//
+//emlint:batchpair Access
+//emlint:batchpair Instr
 func (j *jobSink) AccessBatch(b *mem.Batch) {
 	i, n := 0, b.Len()
 	for i < n {

@@ -170,6 +170,65 @@ func TestRecoverResumesSpooledJob(t *testing.T) {
 	}
 }
 
+// mkSnapshot builds a fresh pair of machine snapshots — the minimum a
+// structurally valid checkpoint file needs.
+func mkSnapshot(t *testing.T) []machine.NamedSnapshot {
+	t.Helper()
+	normal, err := machine.New(machine.NormalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	migCfg, err := machine.MigrationConfigFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := machine.New(migCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := normal.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := mig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []machine.NamedSnapshot{{Name: "normal", Snap: ns}, {Name: "migration", Snap: ms}}
+}
+
+// TestRecoverHonorsCancelledContext is the regression test for the
+// shutdown-vs-recovery race: Recover with an already-cancelled context
+// must stop between files — counting the remaining checkpoints as
+// respooled and leaving them on disk for the next start — instead of
+// loading and re-admitting jobs against its own drain. (Previously
+// only the in-flight resume observed ctx; the scan loop never did.)
+func TestRecoverHonorsCancelledContext(t *testing.T) {
+	spool := t.TempDir()
+	spec := mediumSpec.normalized()
+	for _, name := range []string{"1111111111111111.ckpt", "2222222222222222.ckpt"} {
+		ck := &machine.Checkpoint{Workload: spec.Workload, Instr: spec.Instr, Cores: spec.Cores, Machines: mkSnapshot(t)}
+		if err := machine.SaveCheckpoint(filepath.Join(spool, name), ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := New(Config{Workers: 1, SpoolDir: spool})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := s.Recover(ctx)
+	if rep.Respooled != 2 || rep.Resumed != 0 || rep.Quarantined != 0 || len(rep.Errors) != 0 {
+		t.Fatalf("cancelled recovery report: %+v", rep)
+	}
+	left, err := filepath.Glob(filepath.Join(spool, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("checkpoints not left for the next start: %v", left)
+	}
+}
+
 // TestRecoverTriage: corrupt checkpoints are quarantined, trace-driven
 // ones are left for emsim -resume, and checkpoints whose result already
 // exists are discarded without work.
@@ -183,30 +242,6 @@ func TestRecoverTriage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A foreign (trace-driven) checkpoint the service cannot replay.
-	mkSnapshot := func(t *testing.T) []machine.NamedSnapshot {
-		t.Helper()
-		normal, err := machine.New(machine.NormalConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		migCfg, err := machine.MigrationConfigFor(4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mig, err := machine.New(migCfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ns, err := normal.Snapshot()
-		if err != nil {
-			t.Fatal(err)
-		}
-		ms, err := mig.Snapshot()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return []machine.NamedSnapshot{{Name: "normal", Snap: ns}, {Name: "migration", Snap: ms}}
-	}
 	foreign := &machine.Checkpoint{Replay: "/tmp/some.emt", Cores: 4, Machines: mkSnapshot(t)}
 	if err := machine.SaveCheckpoint(filepath.Join(spool, "aaaaaaaaaaaaaaaa.ckpt"), foreign); err != nil {
 		t.Fatal(err)

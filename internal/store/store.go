@@ -100,13 +100,17 @@ type ScanReport struct {
 // Store is a durable content-addressed result store rooted at one
 // directory. All methods are safe for concurrent use.
 type Store struct {
-	dir     string
-	opts    Options
-	fs      FS
-	scan    ScanReport
-	tmpSeq  atomic.Uint64
-	mu      sync.Mutex // serialises quarantine moves
-	entries atomic.Int64
+	dir    string
+	opts   Options
+	fs     FS
+	scan   ScanReport
+	tmpSeq atomic.Uint64
+	mu     sync.Mutex // serialises quarantine moves
+	// quarantined logs keys quarantined after the startup scan (a Get
+	// tripping over corruption at runtime), in quarantine order.
+	//emlint:guardedby mu
+	quarantined []string
+	entries     atomic.Int64
 }
 
 // Open roots a store at dir (created if missing), scans every existing
@@ -168,7 +172,7 @@ func (s *Store) scanDir() error {
 			return fmt.Errorf("store: scanning entry %s: %w", name, err)
 		}
 		if _, err := DecodeEntry(b); err != nil {
-			s.quarantine(key)
+			s.moveToQuarantine(key)
 			s.scan.Quarantined++
 			s.scan.QuarantinedKeys = append(s.scan.QuarantinedKeys, key)
 			continue
@@ -343,6 +347,16 @@ func (s *Store) CheckWritable() error {
 // succeeded.
 func (s *Store) quarantine(key string) bool {
 	s.mu.Lock()
+	s.quarantined = append(s.quarantined, key)
+	s.mu.Unlock()
+	return s.moveToQuarantine(key)
+}
+
+// moveToQuarantine performs the move without touching the runtime
+// quarantine log — the startup scan records its findings in ScanReport
+// instead, so the two discovery paths don't double-count a key.
+func (s *Store) moveToQuarantine(key string) bool {
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	src := s.entryPath(key)
 	dst := filepath.Join(s.dir, QuarantineDir, key+entrySuffix)
@@ -351,6 +365,18 @@ func (s *Store) quarantine(key string) bool {
 		return false
 	}
 	return true
+}
+
+// QuarantinedKeys returns every key this store has quarantined: the
+// startup scan's findings followed by entries Get tripped over at
+// runtime, in quarantine order. The slice is a copy.
+func (s *Store) QuarantinedKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.scan.QuarantinedKeys)+len(s.quarantined))
+	keys = append(keys, s.scan.QuarantinedKeys...)
+	keys = append(keys, s.quarantined...)
+	return keys
 }
 
 // EncodeEntry renders body in the EMSTORE1 entry format: magic, uvarint

@@ -133,6 +133,36 @@ func TestGetQuarantinesCorruptEntry(t *testing.T) {
 	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("post-quarantine get: %v, want ErrNotFound", err)
 	}
+	if keys := s.QuarantinedKeys(); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("QuarantinedKeys = %v, want [%s]", keys, key)
+	}
+}
+
+// TestQuarantinedKeysMergesScanAndRuntime: the quarantine ledger spans
+// both discovery paths — entries the startup scan rejected and entries
+// Get tripped over afterwards — in that order.
+func TestQuarantinedKeysMergesScanAndRuntime(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	scanned, runtime := keyFor("rotted-at-rest"), keyFor("rotted-at-read")
+	for _, k := range []string{scanned, runtime} {
+		if err := s.Put(k, []byte("body of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flipEntryByte(t, filepath.Join(dir, scanned+entrySuffix), -1)
+
+	s2 := mustOpen(t, dir, Options{})
+	if got := s2.QuarantinedKeys(); len(got) != 1 || got[0] != scanned {
+		t.Fatalf("after scan: QuarantinedKeys = %v, want [%s]", got, scanned)
+	}
+	flipEntryByte(t, filepath.Join(dir, runtime+entrySuffix), -1)
+	if _, err := s2.Get(runtime); err == nil {
+		t.Fatal("corrupt entry served")
+	}
+	if got := s2.QuarantinedKeys(); len(got) != 2 || got[0] != scanned || got[1] != runtime {
+		t.Fatalf("after runtime hit: QuarantinedKeys = %v, want [%s %s]", got, scanned, runtime)
+	}
 }
 
 // TestScanQuarantinesAndCleans: a startup scan over a directory holding

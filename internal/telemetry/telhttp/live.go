@@ -28,9 +28,11 @@ import (
 // for in-flight responses — the run-teardown path, so a finished run
 // releases its port instead of holding it for the life of the process.
 type Live struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//emlint:guardedby mu
 	snaps map[string]telemetry.Snapshot
-	srv   *http.Server // non-nil only between Start and Shutdown
+	//emlint:guardedby mu
+	srv *http.Server // non-nil only between Start and Shutdown
 }
 
 // NewLive returns an empty publisher.
@@ -55,6 +57,7 @@ func (l *Live) Start(addr string) (string, error) {
 	srv := &http.Server{Handler: l}
 	l.srv = srv
 	l.mu.Unlock()
+	//emlint:detached bounded by Shutdown: Serve returns once the listener closes
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
 	return ln.Addr().String(), nil
 }
