@@ -48,6 +48,9 @@ func main() {
 		name      = flag.String("workload", "179.art", "workload name")
 		instr     = flag.Uint64("instr", 20_000_000, "instruction budget")
 		cores     = flag.Int("cores", 4, "cores in the migration configuration (2, 4 or 8)")
+		policy    = flag.String("policy", "", fmt.Sprintf("migration policy %v (default %s)", migration.PolicyNames(), migration.PolicyMichaud))
+		topology  = flag.String("topology", "", fmt.Sprintf("core-distance topology %v (default %s)", migration.TopologyNames(), migration.TopologyUniform))
+		programs  = flag.String("programs", "", "multiprogrammed run: an integer K (K copies of -workload) or a comma-separated workload list sharing one L2 complex")
 		record    = flag.String("record", "", "record the workload's reference stream to this file and exit")
 		replay    = flag.String("replay", "", "replay a recorded trace instead of running the workload")
 		ckpt      = flag.String("checkpoint", "", "write checkpoints to this file (periodically with -checkpoint-every, and on SIGINT)")
@@ -89,10 +92,30 @@ func main() {
 	if (*timeline != "" || *metrics != "") && *interval == 0 {
 		fail(fmt.Errorf("emsim: -interval must be positive with -timeline or -metrics"))
 	}
+	if *programs != "" {
+		// A multiprogrammed run is a different experiment shape: no
+		// single event stream exists to record, replay, checkpoint or
+		// sample, so the stream-shaping flags are rejected up front.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*record != "", "-record"}, {*replay != "", "-replay"},
+			{*ckpt != "", "-checkpoint"}, {*resume != "", "-resume"},
+			{*timeline != "", "-timeline"}, {*metrics != "", "-metrics"},
+			{*scalar, "-scalar"},
+		} {
+			if bad.set {
+				fail(fmt.Errorf("emsim: %s is incompatible with -programs", bad.flag))
+			}
+		}
+	}
 	p := runParams{
 		Workload:        *name,
 		Instr:           *instr,
 		Cores:           *cores,
+		Policy:          *policy,
+		Topology:        *topology,
 		Replay:          *replay,
 		Workers:         *jobs,
 		Checkpoint:      *ckpt,
@@ -130,6 +153,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("recorded %d events of %s to %s\n", tw.Events(), *name, *record)
+		return
+	}
+
+	if *programs != "" {
+		stopProfiles, err := startProfiles(*cpuprof, *memprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := runMulti(os.Stdout, reg, *programs, p, *jsonOut); err != nil {
+			stopProfiles()
+			fail(err)
+		}
+		if err := stopProfiles(); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -199,6 +237,8 @@ func writeRunJSON(w io.Writer, p runParams, res *runResult) error {
 		Replay:    p.Replay,
 		Instr:     p.Instr,
 		Cores:     p.Cores,
+		Policy:    p.Policy,   // normalized: "" for the Michaud default
+		Topology:  p.Topology, // normalized: "" for the uniform chip
 		Events:    res.Events,
 		Normal:    res.Normal,
 		Migration: res.Mig,
@@ -290,7 +330,18 @@ func printReport(p runParams, res *runResult) {
 	if p.Replay != "" {
 		source = "trace " + p.Replay
 	}
-	fmt.Printf("workload %s, %d instructions\n\n", source, mig.Instructions)
+	fmt.Printf("workload %s, %d instructions\n", source, mig.Instructions)
+	if p.Policy != "" || p.Topology != "" {
+		pol, topo := p.Policy, p.Topology
+		if pol == "" {
+			pol = migration.PolicyMichaud
+		}
+		if topo == "" {
+			topo = migration.TopologyUniform
+		}
+		fmt.Printf("policy %s, topology %s\n", pol, topo)
+	}
+	fmt.Println()
 	t := stats.NewTable("metric", "1-core", fmt.Sprintf("%d-core+migration", p.Cores))
 	row := func(label string, a, b uint64) { t.AddRow(label, fmt.Sprint(a), fmt.Sprint(b)) }
 	row("instructions", normal.Instructions, mig.Instructions)

@@ -25,6 +25,13 @@ type runParams struct {
 	Cores    int
 	Replay   string // drive from this trace file instead of a workload
 
+	// Policy and Topology select the migration scenario. validate
+	// normalizes them: the Michaud default and the uniform chip become
+	// "", so spelling out a default is indistinguishable from omitting
+	// it (same report, same JSON bytes, same checkpoint bytes).
+	Policy   string
+	Topology string
+
 	// Scalar selects the legacy per-reference delivery path instead of
 	// the columnar batch path (the -scalar escape hatch, kept for
 	// differential testing — the two paths must produce byte-identical
@@ -68,6 +75,18 @@ func (p *runParams) validate() error {
 	case 2, 4, 8:
 	default:
 		return fmt.Errorf("emsim: -cores must be 2, 4 or 8, got %d", p.Cores)
+	}
+	cfg, err := machine.MigrationConfigScenario(p.Cores, p.Policy, p.Topology)
+	if err != nil {
+		return fmt.Errorf("emsim: %w", err)
+	}
+	// Write the normalized spelling back so every downstream consumer
+	// (report header, -json encoder, checkpoint extension) sees "" for
+	// the defaults.
+	p.Policy = cfg.Policy
+	p.Topology = ""
+	if cfg.Topology != nil {
+		p.Topology = cfg.Topology.Name
 	}
 	if p.Replay == "" {
 		if _, err := suite.Registry().New(p.Workload); err != nil {
@@ -305,8 +324,14 @@ func run(p *runParams) (*runResult, error) {
 			return nil, err
 		}
 		// The checkpoint is authoritative about the run it belongs to:
-		// flags that shaped the original pass are restored from it.
+		// flags that shaped the original pass are restored from it —
+		// including the policy scenario, which rides the checkpoint
+		// extension (absent for default Michaud-on-uniform runs).
 		p.Workload, p.Replay, p.Instr, p.Cores = ck.Workload, ck.Replay, ck.Instr, ck.Cores
+		p.Policy, p.Topology = "", ""
+		if ext := ck.Ext(); ext != nil {
+			p.Policy, p.Topology = ext.Policy, ext.Topology
+		}
 		resumeCk = ck
 	}
 	if err := p.validate(); err != nil {
@@ -317,7 +342,11 @@ func run(p *runParams) (*runResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mig, err := machine.New(machine.MigrationConfigN(p.Cores))
+	migCfg, err := machine.MigrationConfigScenario(p.Cores, p.Policy, p.Topology)
+	if err != nil {
+		return nil, err
+	}
+	mig, err := machine.New(migCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -349,6 +378,18 @@ func run(p *runParams) (*runResult, error) {
 		if err := mig.Restore(*ms); err != nil {
 			return nil, err
 		}
+		// Non-Michaud policies serialise through the checkpoint
+		// extension (the snapshot's Controller field stays nil for
+		// them); restore that state after the cache/stat restore.
+		if ext := resumeCk.Ext(); ext != nil {
+			ps, err := ext.State("migration")
+			if err != nil {
+				return nil, fmt.Errorf("emsim: %w", err)
+			}
+			if err := mig.SetPolicyState(ps); err != nil {
+				return nil, fmt.Errorf("emsim: restoring policy state: %w", err)
+			}
+		}
 		skip = resumeCk.Events
 	}
 
@@ -361,7 +402,7 @@ func run(p *runParams) (*runResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &machine.Checkpoint{
+		ck := &machine.Checkpoint{
 			Workload: p.Workload,
 			Replay:   p.Replay,
 			Instr:    p.Instr,
@@ -371,7 +412,24 @@ func run(p *runParams) (*runResult, error) {
 				{Name: "normal", Snap: ns},
 				{Name: "migration", Snap: ms},
 			},
-		}, nil
+		}
+		// Non-default scenarios ride the optional checkpoint extension;
+		// default runs attach nothing, keeping their files byte-identical
+		// to the pre-policy format.
+		if p.Policy != "" || p.Topology != "" {
+			ps, err := mig.PolicyState()
+			if err != nil {
+				return nil, err
+			}
+			ck.SetExt(&machine.CheckpointExt{
+				Policy:   p.Policy,
+				Topology: p.Topology,
+				PolicyStates: []machine.NamedPolicyState{
+					{Name: "migration", State: ps},
+				},
+			})
+		}
+		return ck, nil
 	}
 
 	var saveErr error

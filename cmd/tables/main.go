@@ -12,6 +12,8 @@
 //	tables -instr 50000000        # instruction budget per workload
 //	tables -only 179.art,181.mcf  # restrict to some workloads
 //	tables -j 8                   # worker pool size (0 = all cores, 1 = serial)
+//	tables -tournament -policies michaud,numa,never -topology cluster
+
 package main
 
 import (
@@ -31,13 +33,17 @@ func main() {
 		t1       = flag.Bool("table1", false, "print Table 1 only")
 		t2       = flag.Bool("table2", false, "print Table 2 only")
 		sweep    = flag.Bool("sweep", false, "print the working-set-size sweep (the Table 2 trade on a synthetic circular workload) and exit")
-		cores    = flag.Int("cores", 4, "cores for the -sweep migration machine")
+		cores    = flag.Int("cores", 4, "cores for the -sweep and -tournament migration machines")
 		laps     = flag.Uint64("laps", 40, "laps per -sweep point")
 		instr    = flag.Uint64("instr", 20_000_000, "instruction budget per workload (paper: 1e9)")
 		only     = flag.String("only", "", "comma-separated subset of workloads")
 		jobs     = flag.Int("j", 0, "parallel worker count: 0 = all cores, 1 = serial legacy path")
 		timeline = flag.Bool("timeline", false, "print the per-interval timeline table (Table 2's trade resolved over time) and exit")
 		interval = flag.Uint64("interval", 1_000_000, "events between -timeline samples")
+		tourney  = flag.Bool("tournament", false, "print the cross-policy tournament league table and exit")
+		policies = flag.String("policies", "michaud,numa,never", "comma-separated policy list for -tournament")
+		topology = flag.String("topology", "", "core-distance topology for -tournament (default uniform)")
+		pmig     = flag.Float64("pmig", 0, "reference migration penalty for the -tournament speedup column (0 = default)")
 		outPath  = flag.String("o", "", "write the tables to this file instead of stdout")
 	)
 	flag.Parse()
@@ -53,7 +59,7 @@ func main() {
 		}
 	}
 
-	if !*t1 && !*t2 && !*timeline && !*sweep {
+	if !*t1 && !*t2 && !*timeline && !*sweep && !*tourney {
 		*t1, *t2 = true, true
 	}
 
@@ -76,6 +82,31 @@ func main() {
 				return err
 			}
 			fmt.Fprintln(out, report.FormatSweep(points))
+			return nil
+		}
+
+		if *tourney {
+			var pols []string
+			for _, p := range strings.Split(*policies, ",") {
+				pols = append(pols, strings.TrimSpace(p))
+			}
+			topo := *topology
+			if topo == "" {
+				topo = "uniform"
+			}
+			fmt.Fprintf(out, "policy tournament: %s on the %s topology, %d-core machines,\n%dM instructions per run\n\n",
+				strings.Join(pols, " vs "), topo, *cores, *instr/1_000_000)
+			rows, err := report.TournamentBatch(reg, names, report.TournamentConfig{
+				Policies: pols,
+				Topology: *topology,
+				Cores:    *cores,
+				Budget:   *instr,
+				Pmig:     *pmig,
+			}, opt("tournament"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatTournament(rows, *pmig))
 			return nil
 		}
 

@@ -37,7 +37,7 @@ func TestMain(m *testing.M) {
 	if os.Getenv("EMSIM_E2E_RACE") == "1" {
 		args = append(args, "-race")
 	}
-	args = append(args, "repro/cmd/emsim", "repro/cmd/tables", "repro/cmd/emsimd", "repro/cmd/emsimc")
+	args = append(args, "repro/cmd/emsim", "repro/cmd/tables", "repro/cmd/emsimd", "repro/cmd/emsimc", "repro/cmd/affinityviz")
 	build := exec.Command("go", args...)
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {

@@ -1,0 +1,199 @@
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The differential suite proves the policy refactor changed nothing the
+// paper's experiments can observe: every output of the pre-refactor
+// binaries — report text, -json bytes, timeline JSONL, tables, the
+// Fig. 3 affinity plot, EMCKPT1 checkpoint bytes — was recorded into
+// testdata/prerefactor/ at the commit before the migration controller
+// became a plugin, and the current binaries must reproduce each of them
+// byte for byte, serially and under every worker count. These goldens
+// are a historical record: they are never regenerated with -update.
+
+// readPrerefactor loads one recorded pre-refactor output.
+func readPrerefactor(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "prerefactor", name))
+	if err != nil {
+		t.Fatalf("missing pre-refactor golden (recorded once, never regenerated): %v", err)
+	}
+	return b
+}
+
+// diffBytes fails with a readable diff context when got != want.
+func diffBytes(t *testing.T, label string, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from the pre-refactor output:\n--- got ---\n%s\n--- want ---\n%s", label, got, want)
+	}
+}
+
+// TestDifferentialEmsimJSON: `emsim -json` is byte-identical to the
+// pre-refactor binary for every recorded configuration, for serial and
+// parallel engines, and with the default scenario spelled out
+// explicitly (-policy michaud -topology uniform must be a no-op).
+func TestDifferentialEmsimJSON(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"emsim_json_mst.golden", []string{"-workload", "mst", "-instr", "200000", "-cores", "4"}},
+		{"emsim_json_art2.golden", []string{"-workload", "179.art", "-instr", "300000", "-cores", "2"}},
+		{"emsim_json_em3d8.golden", []string{"-workload", "em3d", "-instr", "200000", "-cores", "8"}},
+	}
+	for _, tc := range cases {
+		want := readPrerefactor(t, tc.golden)
+		for _, j := range []string{"1", "2", "4"} {
+			stdout, _ := runCLI(t, "emsim", append(tc.args, "-json", "-j", j)...)
+			diffBytes(t, fmt.Sprintf("%s -j %s", tc.golden, j), []byte(stdout), want)
+		}
+		explicit := append(tc.args, "-policy", "michaud", "-topology", "uniform", "-json", "-j", "1")
+		stdout, _ := runCLI(t, "emsim", explicit...)
+		diffBytes(t, tc.golden+" (explicit defaults)", []byte(stdout), want)
+	}
+}
+
+// TestDifferentialEmsimReport: the human-readable report is unchanged.
+func TestDifferentialEmsimReport(t *testing.T) {
+	want := readPrerefactor(t, "emsim_report_mst.golden")
+	stdout, _ := runCLI(t, "emsim", "-workload", "mst", "-instr", "200000", "-cores", "4")
+	diffBytes(t, "emsim report", []byte(stdout), want)
+}
+
+// TestDifferentialEmsimTimeline: the per-interval timeline JSONL is
+// unchanged (the telemetry metric set must not have grown for default
+// machines — a new always-registered counter would change these rows).
+func TestDifferentialEmsimTimeline(t *testing.T) {
+	want := readPrerefactor(t, "emsim_timeline_mst.golden")
+	for _, j := range []string{"1", "2"} {
+		tl := filepath.Join(t.TempDir(), "tl.jsonl")
+		runCLI(t, "emsim", "-workload", "mst", "-instr", "200000", "-cores", "4",
+			"-interval", "50000", "-timeline", tl, "-json", "-j", j)
+		got, err := os.ReadFile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffBytes(t, "emsim timeline -j "+j, got, want)
+	}
+}
+
+// TestDifferentialTables: Table 1 + Table 2 bytes are unchanged across
+// worker counts.
+func TestDifferentialTables(t *testing.T) {
+	want := readPrerefactor(t, "tables_small.golden")
+	for _, j := range []string{"1", "2"} {
+		stdout, _ := runCLI(t, "tables", "-instr", "1000000", "-only", "179.art,181.mcf,mst", "-j", j)
+		diffBytes(t, "tables -j "+j, []byte(stdout), want)
+	}
+}
+
+// TestDifferentialFig3: the affinity-visualisation plot is unchanged.
+func TestDifferentialFig3(t *testing.T) {
+	want := readPrerefactor(t, "fig3.golden")
+	stdout, _ := runCLI(t, "affinityviz")
+	diffBytes(t, "fig3", []byte(stdout), want)
+}
+
+// TestDifferentialCheckpointBytes: a default-configuration run writes
+// EMCKPT1 files byte-identical to the pre-refactor binary's — the
+// optional policy extension must be absent for Michaud-on-uniform, even
+// when the defaults are spelled out.
+func TestDifferentialCheckpointBytes(t *testing.T) {
+	want := readPrerefactor(t, "emsim_mst.ckpt.golden")
+	base := []string{"-workload", "mst", "-instr", "200000", "-cores", "4",
+		"-checkpoint-every", "100000", "-json"}
+	for _, extra := range [][]string{
+		nil,
+		{"-policy", "michaud", "-topology", "uniform"},
+	} {
+		ck := filepath.Join(t.TempDir(), "run.ckpt")
+		runCLI(t, "emsim", append(append(append([]string{}, base...), "-checkpoint", ck), extra...)...)
+		got, err := os.ReadFile(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffBytes(t, fmt.Sprintf("checkpoint bytes (extra flags %v)", extra), got, want)
+	}
+}
+
+// TestPolicyCheckpointRoundTrip: a non-default scenario checkpoints its
+// policy state through the EMCKPT1 extension and resumes to the exact
+// same result. The periodic checkpoint left behind by a completed run
+// captures the machines mid-stream, so resuming it replays only the
+// tail — any lost or mis-restored hysteresis state would change the
+// final counters.
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	args := []string{"-workload", "mst", "-instr", "200000", "-cores", "4",
+		"-policy", "numa", "-topology", "cluster", "-json"}
+	full, _ := runCLI(t, "emsim", args...)
+	if !bytes.Contains([]byte(full), []byte(`"policy": "numa"`)) ||
+		!bytes.Contains([]byte(full), []byte(`"topology": "cluster"`)) {
+		t.Fatalf("non-default scenario missing from JSON:\n%s", full)
+	}
+
+	ck := filepath.Join(t.TempDir(), "numa.ckpt")
+	ckOut, _ := runCLI(t, "emsim", append(args, "-checkpoint", ck, "-checkpoint-every", "100000")...)
+	if ckOut != full {
+		t.Fatalf("checkpointing run diverged from plain run:\n--- ckpt ---\n%s\n--- plain ---\n%s", ckOut, full)
+	}
+	resumed, _ := runCLI(t, "emsim", "-resume", ck, "-json")
+	if resumed != full {
+		t.Fatalf("resumed numa run diverged from uninterrupted run:\n--- resumed ---\n%s\n--- full ---\n%s", resumed, full)
+	}
+
+	// The default-config checkpoint and the numa checkpoint differ (the
+	// extension is present only in the latter).
+	defCk := readPrerefactor(t, "emsim_mst.ckpt.golden")
+	got, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, defCk) {
+		t.Fatal("numa checkpoint is byte-identical to the default checkpoint: policy extension missing")
+	}
+}
+
+// TestTournamentGolden locks the tables -tournament league-table format
+// and its serial-vs-parallel byte identity.
+func TestTournamentGolden(t *testing.T) {
+	args := []string{"-tournament", "-instr", "500000", "-only", "mst,181.mcf",
+		"-policies", "michaud,numa,never", "-topology", "cluster"}
+	serial, _ := runCLI(t, "tables", append(args, "-j", "1")...)
+	checkGolden(t, "tables_tournament.golden", []byte(serial))
+	parallel, _ := runCLI(t, "tables", append(args, "-j", "4")...)
+	if serial != parallel {
+		t.Fatalf("tables -tournament diverged between -j 1 and -j 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestMultiprogramGolden locks the emsim -programs output (table and
+// JSON) and its worker-count byte identity, and checks the flag's two
+// spellings (count vs explicit list) agree.
+func TestMultiprogramGolden(t *testing.T) {
+	args := []string{"-programs", "mst,181.mcf", "-instr", "100000", "-cores", "4"}
+	table, _ := runCLI(t, "emsim", append(args, "-j", "1")...)
+	checkGolden(t, "emsim_multiprogram.golden", []byte(table))
+	jsonOut, _ := runCLI(t, "emsim", append(args, "-json", "-j", "1")...)
+	checkGolden(t, "emsim_multiprogram_json.golden", []byte(jsonOut))
+	for _, j := range []string{"2", "0"} {
+		again, _ := runCLI(t, "emsim", append(args, "-json", "-j", j)...)
+		if again != jsonOut {
+			t.Fatalf("emsim -programs diverged between -j 1 and -j %s", j)
+		}
+	}
+
+	count, _ := runCLI(t, "emsim", "-programs", "2", "-workload", "mst",
+		"-instr", "100000", "-cores", "4", "-json")
+	list, _ := runCLI(t, "emsim", "-programs", "mst,mst",
+		"-instr", "100000", "-cores", "4", "-json")
+	if count != list {
+		t.Fatalf("-programs 2 and -programs mst,mst diverged:\n%s\nvs\n%s", count, list)
+	}
+}

@@ -61,17 +61,23 @@ var All = []*analysis.Analyzer{
 // pipeline packages (mem, trace, cache) joined when the columnar hot
 // path landed: batch assembly, trace decoding and cache indexing all
 // sit directly on the event stream every result is computed from.
+// The migration package joined when the policy layer made it
+// pluggable: every policy's trigger/target decisions feed the
+// tournament and multiprogram tables directly, so a wall-clock or
+// map-order read there would break byte identity for non-default
+// scenarios.
 var resultPackages = map[string]bool{
-	ModulePath + "/internal/report":   true,
-	ModulePath + "/internal/runner":   true,
-	ModulePath + "/internal/machine":  true,
-	ModulePath + "/internal/affinity": true,
-	ModulePath + "/internal/service":  true,
-	ModulePath + "/internal/store":    true,
-	ModulePath + "/internal/health":   true,
-	ModulePath + "/internal/mem":      true,
-	ModulePath + "/internal/trace":    true,
-	ModulePath + "/internal/cache":    true,
+	ModulePath + "/internal/report":    true,
+	ModulePath + "/internal/runner":    true,
+	ModulePath + "/internal/machine":   true,
+	ModulePath + "/internal/affinity":  true,
+	ModulePath + "/internal/migration": true,
+	ModulePath + "/internal/service":   true,
+	ModulePath + "/internal/store":     true,
+	ModulePath + "/internal/health":    true,
+	ModulePath + "/internal/mem":       true,
+	ModulePath + "/internal/trace":     true,
+	ModulePath + "/internal/cache":     true,
 }
 
 // ctxPackages are the packages whose goroutines participate in the

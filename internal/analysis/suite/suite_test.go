@@ -32,6 +32,7 @@ func TestForPackage(t *testing.T) {
 	}{
 		{"repro/internal/report", result},
 		{"repro/internal/machine", result},
+		{"repro/internal/migration", result},
 		{"repro/internal/cache", result},
 		{"repro/internal/mem", result},
 		{"repro/internal/trace", result},

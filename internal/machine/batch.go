@@ -45,7 +45,7 @@ func (m *Machine) AccessBatch(b *mem.Batch) {
 			n := uint64(addrs[i])
 			instrs += n
 			if migration {
-				if m.cfg.BroadcastThreshold > 0 && !m.ctrl.NearMigration(m.cfg.BroadcastThreshold) {
+				if m.cfg.BroadcastThreshold > 0 && !m.polNearMigration(m.cfg.BroadcastThreshold) {
 					m.Stats.SuppressedRegBytes += 9 * n
 				} else {
 					busBytes += 9 * n

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/ioutilx"
+	"repro/internal/migration"
 )
 
 // Checkpoint file format ("EMCKPT1"): an 8-byte magic, a uvarint payload
@@ -51,7 +52,56 @@ type Checkpoint struct {
 	Events uint64
 
 	Machines []NamedSnapshot
+
+	// ext carries scenario state beyond the original format: the policy
+	// and topology names plus non-Michaud policy states. It is
+	// unexported so gob skips it in the main Checkpoint value — the
+	// extension is serialised as an optional second gob value after the
+	// Checkpoint (still inside the CRC-covered payload), which keeps
+	// default-configuration checkpoint files byte-identical to the
+	// pre-policy format and lets old readers that stop after the first
+	// value ignore it.
+	ext *CheckpointExt
 }
+
+// CheckpointExt is the EMCKPT1 extension section: everything a
+// non-default scenario needs to resume that the original Checkpoint
+// shape cannot carry without changing its gob descriptor.
+type CheckpointExt struct {
+	// Policy and Topology name the run's configuration ("" means the
+	// Michaud default / uniform chip).
+	Policy   string
+	Topology string
+	// PolicyStates holds the per-machine policy state for machines whose
+	// policy is not the Michaud controller (whose state rides
+	// Snapshot.Controller). Keyed by NamedSnapshot name.
+	PolicyStates []NamedPolicyState
+}
+
+// NamedPolicyState pairs a policy state with the machine it belongs to.
+type NamedPolicyState struct {
+	Name  string
+	State migration.PolicyState
+}
+
+// State returns the policy state recorded for machine name, or an
+// error.
+func (e *CheckpointExt) State(name string) (migration.PolicyState, error) {
+	for _, ps := range e.PolicyStates {
+		if ps.Name == name {
+			return ps.State, nil
+		}
+	}
+	return migration.PolicyState{}, fmt.Errorf("checkpoint: no policy state for machine %q", name)
+}
+
+// Ext returns the extension section, nil for checkpoints written by the
+// original format or default-configuration runs.
+func (c *Checkpoint) Ext() *CheckpointExt { return c.ext }
+
+// SetExt attaches an extension section (nil detaches it, restoring the
+// original on-disk format).
+func (c *Checkpoint) SetExt(e *CheckpointExt) { c.ext = e }
 
 // Machine returns the named snapshot, or an error.
 func (c *Checkpoint) Machine(name string) (*Snapshot, error) {
@@ -66,8 +116,14 @@ func (c *Checkpoint) Machine(name string) (*Snapshot, error) {
 // WriteCheckpoint serialises ck to w.
 func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(ck); err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if ck.ext != nil {
+		if err := enc.Encode(ck.ext); err != nil {
+			return fmt.Errorf("checkpoint: encode extension: %w", err)
+		}
 	}
 	bw := bufio.NewWriter(w)
 	bw.WriteString(checkpointMagic)
@@ -113,8 +169,19 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("checkpoint: CRC mismatch: computed %08x, stored %08x", got, want)
 	}
 	var ck Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&ck); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	// The extension section is optional: original-format checkpoints end
+	// after the Checkpoint value and decode cleanly with a nil ext.
+	var ext CheckpointExt
+	switch err := dec.Decode(&ext); err {
+	case nil:
+		ck.ext = &ext
+	case io.EOF:
+	default:
+		return nil, fmt.Errorf("checkpoint: decode extension: %w", err)
 	}
 	return &ck, nil
 }

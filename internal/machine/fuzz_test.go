@@ -58,6 +58,50 @@ func goldenCheckpointBytes(f *testing.F) [][]byte {
 		seeds = append(seeds, buf.Bytes())
 	}
 
+	// Policy-bearing seed: a numa-on-cluster machine whose hysteresis
+	// state rides the optional checkpoint extension, so the fuzzer
+	// mutates the second gob value and the ext round-trip path.
+	cfg, err := MigrationConfigScenario(4, "numa", "cluster")
+	if err != nil {
+		f.Fatal(err)
+	}
+	numa, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range captureSynthetic(4<<10, 30_000) {
+		if e.isInstr {
+			numa.Instr(e.instr)
+		} else {
+			numa.Access(e.addr, e.kind)
+		}
+	}
+	nsn, err := numa.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ps, err := numa.PolicyState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	ext := &Checkpoint{
+		Workload: "synthetic",
+		Instr:    100_000,
+		Cores:    4,
+		Events:   30_000,
+		Machines: []NamedSnapshot{{Name: "migration", Snap: nsn}},
+	}
+	ext.SetExt(&CheckpointExt{
+		Policy:       "numa",
+		Topology:     "cluster",
+		PolicyStates: []NamedPolicyState{{Name: "migration", State: ps}},
+	})
+	var extBuf bytes.Buffer
+	if err := WriteCheckpoint(&extBuf, ext); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, extBuf.Bytes())
+
 	// Degenerate inputs: truncations, a flipped payload byte, bad magic.
 	full := seeds[0]
 	flipped := append([]byte(nil), full...)
@@ -84,8 +128,17 @@ func goldenCheckpointBytes(f *testing.F) [][]byte {
 
 // restoreTarget builds a machine shaped like the snapshot claims to be,
 // or reports that no such machine is constructible (also a clean
-// outcome for hostile input).
-func restoreTarget(snap *Snapshot) (*Machine, bool) {
+// outcome for hostile input). A checkpoint extension names the policy
+// scenario for migration machines whose snapshot has no Controller.
+func restoreTarget(ext *CheckpointExt, snap *Snapshot) (*Machine, bool) {
+	if snap.Controller == nil && ext != nil && snap.Cores > 1 {
+		cfg, err := MigrationConfigScenario(snap.Cores, ext.Policy, ext.Topology)
+		if err != nil {
+			return nil, false // hostile scenario names rejected cleanly
+		}
+		m, err := New(cfg)
+		return m, err == nil
+	}
 	if snap.Controller == nil {
 		m, err := New(NormalConfig())
 		return m, err == nil
@@ -121,7 +174,7 @@ func checkpointRestoreOracle(t *testing.T, data []byte) {
 	}
 	for i := range ck.Machines {
 		snap := &ck.Machines[i].Snap
-		m, ok := restoreTarget(snap)
+		m, ok := restoreTarget(ck.Ext(), snap)
 		if !ok {
 			continue
 		}
@@ -132,6 +185,13 @@ func checkpointRestoreOracle(t *testing.T, data []byte) {
 		// snapshot's observable state.
 		if m.Stats != snap.Stats {
 			t.Fatalf("restore succeeded but stats differ: %+v vs %+v", m.Stats, snap.Stats)
+		}
+		// Policy state from the extension must apply cleanly or fail
+		// cleanly — mutated state blobs may not panic the decoder.
+		if ext := ck.Ext(); ext != nil {
+			if ps, err := ext.State(ck.Machines[i].Name); err == nil {
+				_ = m.SetPolicyState(ps)
+			}
 		}
 	}
 }

@@ -39,6 +39,15 @@ type Config struct {
 	// Migration, when non-nil, enables migration mode with this
 	// controller configuration. The controller's Ways must equal Cores.
 	Migration *migration.Config
+	// Policy names the migration policy driving the machine ("" or
+	// "michaud" selects the paper's affinity controller; see
+	// migration.PolicyNames for the registry). Only meaningful with
+	// Migration set.
+	Policy string
+	// Topology, when non-nil, is the core-distance matrix handed to
+	// distance-aware policies (nil = the paper's uniform chip). Only
+	// meaningful with Migration set.
+	Topology *migration.Topology
 	// L3, when non-nil, models a finite shared L3 behind the L2s
 	// (write-back); L3 misses count as memory accesses. When nil the L3
 	// is infinite, as the paper assumes (it never reports L3 misses).
@@ -105,6 +114,36 @@ func MigrationConfigFor(cores int) (Config, error) {
 		IL1: PaperL1(), DL1: PaperL1(), L2: PaperL2(),
 		Migration: &mc,
 	}, nil
+}
+
+// MigrationConfigScenario is MigrationConfigFor extended with a policy
+// and topology selection, the front ends' single entry point for
+// -policy/-topology flags. Default spellings normalise away — policy
+// "michaud" to "" and topology "uniform" to nil — so a run that names
+// the defaults explicitly is configuration-identical (and therefore
+// output- and checkpoint-byte-identical) to one that names nothing.
+func MigrationConfigScenario(cores int, policy, topology string) (Config, error) {
+	cfg, err := MigrationConfigFor(cores)
+	if err != nil {
+		return Config{}, err
+	}
+	if policy == migration.PolicyMichaud {
+		policy = ""
+	}
+	if !migration.ValidPolicy(policy) {
+		return Config{}, fmt.Errorf("machine: unknown policy %q (have %v)", policy, migration.PolicyNames())
+	}
+	cfg.Policy = policy
+	if topology != "" && topology != migration.TopologyUniform {
+		topo, err := migration.NewTopology(topology, cores)
+		if err != nil {
+			return Config{}, fmt.Errorf("machine: %w", err)
+		}
+		cfg.Topology = topo
+	} else if !migration.ValidTopology(topology) {
+		return Config{}, fmt.Errorf("machine: unknown topology %q (have %v)", topology, migration.TopologyNames())
+	}
+	return cfg, nil
 }
 
 // Stats are the event counts the machine accumulates. All counts are
@@ -206,9 +245,12 @@ const (
 
 	MetricCtrlRequests      = "ctrl_requests"
 	MetricCtrlFilterUpdates = "ctrl_filter_updates"
-	MetricAffinityHits      = "affinity_hits"
-	MetricAffinityMisses    = "affinity_misses"
-	MetricAffinityEvictions = "affinity_evictions"
+	// MetricMigrationsDeferred counts migrations a distance-aware policy
+	// wanted but withheld; registered only for such policies.
+	MetricMigrationsDeferred = "migrations_deferred"
+	MetricAffinityHits       = "affinity_hits"
+	MetricAffinityMisses     = "affinity_misses"
+	MetricAffinityEvictions  = "affinity_evictions"
 	// MetricMigrationGap is a histogram: per migration, the number of
 	// L1-miss requests since the previous migration (bucket i>0 holds
 	// gaps in [2^(i-1), 2^i)).
@@ -229,12 +271,20 @@ type probes struct {
 
 // Machine is the simulated multi-core. It implements mem.Sink.
 type Machine struct {
-	cfg  Config
-	il1  *cache.SetAssoc // mirrored across cores: one physical copy
-	dl1  *cache.SetAssoc
-	l2   []*cache.SetAssoc
-	l3   *cache.SetAssoc // nil = infinite L3 (the paper's assumption)
-	pf   *prefetch.Prefetcher
+	cfg Config
+	il1 *cache.SetAssoc // mirrored across cores: one physical copy
+	dl1 *cache.SetAssoc
+	l2  []*cache.SetAssoc
+	l3  *cache.SetAssoc // nil = infinite L3 (the paper's assumption)
+	pf  *prefetch.Prefetcher
+	// pol is the migration policy (nil in normal mode). The default is
+	// the paper's Michaud controller; see Config.Policy.
+	//emlint:nosnapshot non-default policy state rides the EMCKPT1 extension via PolicyState/SetPolicyState; the Michaud default serialises through ctrl into Snapshot.Controller
+	pol migration.Policy
+	// ctrl devirtualizes pol when it is the Michaud controller: the
+	// policy methods run once per L1 miss, and the concrete call keeps
+	// the default configuration's hot path free of interface dispatch.
+	// Nil under non-default policies, which pay the itab lookup.
 	ctrl *migration.Controller
 
 	tel *telemetry.Registry
@@ -266,6 +316,16 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("machine: L3: %w", err)
 		}
 	}
+	if cfg.Migration == nil {
+		if cfg.Policy != "" {
+			return fmt.Errorf("machine: policy %q without migration mode", cfg.Policy)
+		}
+		if cfg.Topology != nil {
+			return fmt.Errorf("machine: topology %q without migration mode", cfg.Topology.Name)
+		}
+	} else if !migration.ValidPolicy(cfg.Policy) {
+		return fmt.Errorf("machine: unknown policy %q (have %v)", cfg.Policy, migration.PolicyNames())
+	}
 	return nil
 }
 
@@ -292,13 +352,14 @@ func New(cfg Config) (*Machine, error) {
 		m.pf = prefetch.New(*cfg.Prefetch)
 	}
 	if cfg.Migration != nil {
-		ctrl, err := migration.NewController(*cfg.Migration)
+		pol, err := migration.NewPolicy(cfg.Policy, *cfg.Migration, cfg.Topology)
 		if err != nil {
 			return nil, fmt.Errorf("machine: %w", err)
 		}
-		m.ctrl = ctrl
-		if w := m.ctrl.Ways(); w != cfg.Cores {
-			return nil, fmt.Errorf("machine: %d cores but a %d-way migration controller", cfg.Cores, w)
+		m.pol = pol
+		m.ctrl, _ = pol.(*migration.Controller)
+		if w := m.pol.Ways(); w != cfg.Cores {
+			return nil, fmt.Errorf("machine: %d cores but a %d-way migration policy", cfg.Cores, w)
 		}
 	}
 	m.tel = telemetry.NewRegistry()
@@ -311,8 +372,8 @@ func New(cfg Config) (*Machine, error) {
 		l2Misses:     m.tel.MustCounter(MetricL2Misses),
 		migrations:   m.tel.MustCounter(MetricMigrations),
 	}
-	if m.ctrl != nil {
-		m.ctrl.SetProbes(migration.Probes{
+	if m.pol != nil {
+		pr := migration.Probes{
 			Requests:      m.tel.MustCounter(MetricCtrlRequests),
 			L2MissUpdates: m.tel.MustCounter(MetricCtrlFilterUpdates),
 			MigrationGap:  m.tel.MustHistogram(MetricMigrationGap),
@@ -321,7 +382,14 @@ func New(cfg Config) (*Machine, error) {
 				Misses:    m.tel.MustCounter(MetricAffinityMisses),
 				Evictions: m.tel.MustCounter(MetricAffinityEvictions),
 			},
-		})
+		}
+		// The deferral counter exists only for policies that can defer
+		// (keeps the default Michaud metric set — and hence checkpoint
+		// telemetry snapshots — exactly as before the policy layer).
+		if _, ok := m.pol.(*migration.NumaPolicy); ok {
+			pr.Deferrals = m.tel.MustCounter(MetricMigrationsDeferred)
+		}
+		m.pol.SetProbes(pr)
 	}
 	return m, nil
 }
@@ -342,14 +410,55 @@ func (m *Machine) ActiveCore() int { return m.active }
 // controller counters (affinity-table drops) folded in.
 func (m *Machine) FinalStats() Stats {
 	s := m.Stats
-	if m.ctrl != nil {
-		s.AffinityTableDropped = m.ctrl.TableDropped()
+	if m.pol != nil {
+		s.AffinityTableDropped = m.pol.TableDropped()
 	}
 	return s
 }
 
-// Controller returns the migration controller (nil in normal mode).
+// Policy returns the migration policy (nil in normal mode).
+func (m *Machine) Policy() migration.Policy { return m.pol }
+
+// Controller returns the Michaud migration controller, or nil when the
+// machine runs in normal mode or under a different policy.
 func (m *Machine) Controller() *migration.Controller { return m.ctrl }
+
+// polOnRequest, polOnL2Miss and polNearMigration dispatch through the
+// devirtualized Michaud pointer when the default policy runs; only
+// non-default policies pay the interface call. Call only with a policy
+// present. Small on purpose so they inline into the hot path.
+func (m *Machine) polOnRequest(line mem.Line) (int, bool) {
+	if m.ctrl != nil {
+		return m.ctrl.OnRequest(line)
+	}
+	return m.pol.OnRequest(line)
+}
+
+func (m *Machine) polOnL2Miss(isPtrLoad bool) (int, bool) {
+	if m.ctrl != nil {
+		return m.ctrl.OnL2Miss(isPtrLoad)
+	}
+	return m.pol.OnL2Miss(isPtrLoad)
+}
+
+func (m *Machine) polNearMigration(frac float64) bool {
+	if m.ctrl != nil {
+		return m.ctrl.NearMigration(frac)
+	}
+	return m.pol.NearMigration(frac)
+}
+
+// WeightedMigrationCost returns the topology-weighted migration count:
+// the sum of core distances over executed migrations for distance-aware
+// policies, the raw migration count otherwise (every move costs 1 on
+// the uniform chip). This is the `weighted` argument of
+// migration.TimeModel.CyclesWeighted.
+func (m *Machine) WeightedMigrationCost() float64 {
+	if dw, ok := m.pol.(migration.DistanceWeighted); ok {
+		return dw.WeightedMigrationCost()
+	}
+	return float64(m.Stats.Migrations)
+}
 
 // Telemetry returns the machine's metric registry. The registry is
 // single-goroutine like the machine itself; cross-goroutine consumers
@@ -369,7 +478,7 @@ func (m *Machine) Instr(n uint64) {
 	if m.cfg.Migration == nil {
 		return
 	}
-	if m.cfg.BroadcastThreshold > 0 && !m.ctrl.NearMigration(m.cfg.BroadcastThreshold) {
+	if m.cfg.BroadcastThreshold > 0 && !m.polNearMigration(m.cfg.BroadcastThreshold) {
 		m.Stats.SuppressedRegBytes += 9 * n
 		return
 	}
@@ -450,8 +559,8 @@ func (m *Machine) fillL1(l1 *cache.SetAssoc, line mem.Line) {
 // isStore marks write-allocate semantics: the fetched/hit line becomes
 // modified on the active core and loses its modified bit elsewhere.
 func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
-	if m.ctrl != nil {
-		if core, migrated := m.ctrl.OnRequest(line); migrated {
+	if m.pol != nil {
+		if core, migrated := m.polOnRequest(line); migrated {
 			// Only possible with NoL2Filtering (ablation): the filter
 			// moved on the request itself.
 			m.Stats.Migrations++
@@ -472,8 +581,8 @@ func (m *Machine) request(line mem.Line, isStore, isPtrLoad bool) {
 	// Active-L2 miss: with L2 filtering the transition filter moves now,
 	// and a migration may redirect the request (§3.4: "a migration can
 	// happen only upon a L2 miss").
-	if m.ctrl != nil {
-		if core, migrated := m.ctrl.OnL2Miss(isPtrLoad); migrated {
+	if m.pol != nil {
+		if core, migrated := m.polOnL2Miss(isPtrLoad); migrated {
 			m.Stats.Migrations++
 			m.probes.migrations.Inc()
 			m.active = core

@@ -59,14 +59,37 @@ func (m *Machine) Snapshot() (Snapshot, error) {
 		st := m.pf.State()
 		s.Prefetch = &st
 	}
-	if m.ctrl != nil {
-		st, err := m.ctrl.State()
+	// Only the default Michaud controller's state rides the Controller
+	// field — that keeps the Snapshot gob shape (and hence checkpoint
+	// bytes) exactly as before the policy layer. Other policies
+	// serialise through PolicyState into the checkpoint extension.
+	if c := m.Controller(); c != nil {
+		st, err := c.State()
 		if err != nil {
 			return Snapshot{}, err
 		}
 		s.Controller = &st
 	}
 	return s, nil
+}
+
+// PolicyState captures the migration policy's serialisable state, for
+// checkpoint payloads that carry non-default policies. Errors when the
+// machine runs in normal mode.
+func (m *Machine) PolicyState() (migration.PolicyState, error) {
+	if m.pol == nil {
+		return migration.PolicyState{}, fmt.Errorf("machine: no migration policy to capture")
+	}
+	return m.pol.PolicyState()
+}
+
+// SetPolicyState restores a policy state captured by PolicyState. The
+// machine must have been built with the same policy and configuration.
+func (m *Machine) SetPolicyState(ps migration.PolicyState) error {
+	if m.pol == nil {
+		return fmt.Errorf("machine: no migration policy to restore into")
+	}
+	return m.pol.SetPolicyState(ps)
 }
 
 // Restore loads a snapshot into the machine. The machine must have been
@@ -90,7 +113,7 @@ func (m *Machine) Restore(s Snapshot) error {
 	if (s.Prefetch != nil) != (m.pf != nil) {
 		return fmt.Errorf("machine: snapshot and machine disagree on prefetcher presence")
 	}
-	if (s.Controller != nil) != (m.ctrl != nil) {
+	if (s.Controller != nil) != (m.Controller() != nil) {
 		return fmt.Errorf("machine: snapshot and machine disagree on migration controller presence")
 	}
 	if err := m.il1.SetState(s.IL1); err != nil {
@@ -115,7 +138,7 @@ func (m *Machine) Restore(s Snapshot) error {
 		}
 	}
 	if s.Controller != nil {
-		if err := m.ctrl.SetState(*s.Controller); err != nil {
+		if err := m.Controller().SetState(*s.Controller); err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
 	}

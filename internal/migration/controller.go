@@ -146,6 +146,10 @@ type Probes struct {
 	Requests      telemetry.Counter
 	L2MissUpdates telemetry.Counter
 	MigrationGap  telemetry.Histogram
+	// Deferrals counts migrations a policy wanted but withheld (the NUMA
+	// policy's distance hysteresis); the Michaud controller never defers
+	// and leaves it untouched.
+	Deferrals telemetry.Counter
 	// Table is forwarded to the affinity table (bounded or unbounded).
 	Table affinity.TableProbes
 }
@@ -162,11 +166,12 @@ func (c *Controller) SetProbes(p Probes) {
 	}
 }
 
-// NewController builds a controller. Configuration problems — an
-// unsupported way count, a malformed mechanism or table shape — come
-// back as errors; MustNewController wraps them in a panic for call
-// sites with compile-time-constant configurations.
-func NewController(cfg Config) (*Controller, error) {
+// newSplitter builds the affinity machinery — table plus splitter — a
+// Config describes. It is the shared substrate of every affinity-based
+// policy: the Michaud controller and the NUMA policy construct
+// identical machinery and differ only in the migration decision layered
+// on top.
+func newSplitter(cfg Config) (affinity.Splitter, affinity.Table, error) {
 	var table affinity.Table
 	if cfg.TableEntries == 0 {
 		limit := cfg.TableLimit
@@ -181,7 +186,7 @@ func NewController(cfg Config) (*Controller, error) {
 		}
 		if ways < 1 || cfg.TableEntries < ways || cfg.TableEntries%ways != 0 ||
 			!isPow2(cfg.TableEntries/ways) {
-			return nil, fmt.Errorf("migration: affinity cache of %d entries / %d ways is not ways × power-of-two sets",
+			return nil, nil, fmt.Errorf("migration: affinity cache of %d entries / %d ways is not ways × power-of-two sets",
 				cfg.TableEntries, ways)
 		}
 		table = affinity.NewCache(cfg.TableEntries, ways)
@@ -194,15 +199,15 @@ func NewController(cfg Config) (*Controller, error) {
 			mc = affinity.MechConfig{WindowSize: 128, AffinityBits: 16, FilterBits: 18}
 		}
 		if err := mc.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := checkSampleLimit(cfg.Split2SampleLimit, true); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		s2 := affinity.NewSplitter2(mc, table)
 		if cfg.Split2SampleLimit != 0 {
 			if err := s2.SetSampleLimit(cfg.Split2SampleLimit); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		split = s2
@@ -212,13 +217,13 @@ func NewController(cfg Config) (*Controller, error) {
 			sc = affinity.Table2Config()
 		}
 		if err := sc.X.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := sc.Y.Validate(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := checkSampleLimit(sc.SampleLimit, false); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		split = affinity.NewSplitter4(sc, table)
 	case 8:
@@ -228,15 +233,27 @@ func NewController(cfg Config) (*Controller, error) {
 		}
 		for _, mc := range []affinity.MechConfig{sc.X, sc.Y, sc.Z} {
 			if err := mc.Validate(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if err := checkSampleLimit(sc.SampleLimit, false); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		split = affinity.NewSplitter8(sc, table)
 	default:
-		return nil, fmt.Errorf("migration: unsupported Ways %d (want 2, 4 or 8)", cfg.Ways)
+		return nil, nil, fmt.Errorf("migration: unsupported Ways %d (want 2, 4 or 8)", cfg.Ways)
+	}
+	return split, table, nil
+}
+
+// NewController builds a controller. Configuration problems — an
+// unsupported way count, a malformed mechanism or table shape — come
+// back as errors; MustNewController wraps them in a panic for call
+// sites with compile-time-constant configurations.
+func NewController(cfg Config) (*Controller, error) {
+	split, table, err := newSplitter(cfg)
+	if err != nil {
+		return nil, err
 	}
 	return &Controller{
 		split:       split,

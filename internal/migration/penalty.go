@@ -54,6 +54,23 @@ func (t TimeModel) Cycles(o Outcome, pmig float64) float64 {
 		float64(o.Migrations)*pmig*t.L3Penalty
 }
 
+// CyclesWeighted is Cycles under a non-uniform topology: weighted is
+// the sum of Dist[from][to] over executed migrations (a policy's
+// WeightedCost), replacing the raw migration count so a cross-chip move
+// costs proportionally more than a neighbour hop. With the uniform
+// topology weighted equals o.Migrations and the two models coincide.
+func (t TimeModel) CyclesWeighted(o Outcome, pmig, weighted float64) float64 {
+	return float64(o.Instructions)*t.CPI0 +
+		float64(o.L2Misses)*t.L3Penalty +
+		weighted*pmig*t.L3Penalty
+}
+
+// SpeedupWeighted returns T(normal)/T(migrated) charging the
+// topology-weighted migration cost.
+func (t TimeModel) SpeedupWeighted(normal, migrated Outcome, pmig, weighted float64) float64 {
+	return t.Cycles(normal, 0) / t.CyclesWeighted(migrated, pmig, weighted)
+}
+
 // Speedup returns T(normal)/T(migrated) under penalty pmig. Values
 // above 1 mean execution migration wins.
 func (t TimeModel) Speedup(normal, migrated Outcome, pmig float64) float64 {

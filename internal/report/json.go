@@ -25,6 +25,12 @@ type RunResultJSON struct {
 	Instr uint64 `json:"instr"`
 	// Cores is the migration machine's core count.
 	Cores int `json:"cores"`
+	// Policy names the migration policy when it is not the Michaud
+	// default; Topology names the core-distance matrix when it is not
+	// the uniform chip. Default runs omit both, keeping their output
+	// byte-identical to the pre-policy format.
+	Policy   string `json:"policy,omitempty"`
+	Topology string `json:"topology,omitempty"`
 	// Events is the number of sink events both machines consumed.
 	Events uint64 `json:"events"`
 

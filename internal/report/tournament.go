@@ -1,0 +1,336 @@
+package report
+
+// Cross-policy tournaments and multiprogrammed runs: the scenario-space
+// reports the pluggable policy layer opens up. A tournament runs every
+// workload under every competing migration policy over one topology and
+// renders a league table; a multiprogram run co-schedules K programs on
+// one shared L2 complex and compares each program against its solo
+// 1-core baseline. Both follow the package's determinism model: every
+// job owns its machines and generators, rows come back in input order,
+// and output is byte-identical for every worker count.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/migration"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TournamentConfig parameterises a cross-policy tournament.
+type TournamentConfig struct {
+	// Policies are the competing migration policies (registry names).
+	Policies []string
+	// Topology names the core-distance matrix ("" = uniform).
+	Topology string
+	// Cores is the migration machines' core count.
+	Cores int
+	// Budget is the per-run instruction budget.
+	Budget uint64
+	// Pmig is the reference migration penalty (in L3-penalty units) the
+	// speedup column charges; 0 selects DefaultPmig.
+	Pmig float64
+}
+
+// DefaultPmig is the tournament's reference migration penalty: 10 L3
+// penalties per unit distance, comfortably below the paper's ≈60
+// break-even on mcf so a working policy shows a speedup > 1.
+const DefaultPmig = 10.0
+
+// TournamentRow is one workload × policy cell of the league table.
+type TournamentRow struct {
+	Name   string
+	Suite  string
+	Policy string
+
+	Normal   machine.Stats
+	Migrated machine.Stats
+
+	// WeightedCost is the topology-weighted migration count (= raw
+	// migrations on the uniform chip); Deferred counts migrations the
+	// policy's distance hysteresis withheld (0 for Michaud/never).
+	WeightedCost float64
+	Deferred     uint64
+
+	// Ratio is migrated/baseline L2 miss-rate (<1 = the policy removed
+	// misses); Speedup is the TimeModel's T(normal)/T(migrated) at the
+	// configured Pmig, charging WeightedCost per migration.
+	Ratio         float64
+	Speedup       float64
+	BreakEvenPmig float64
+	HasMigrations bool
+}
+
+// tournamentJob is one machine pass: a workload under one configuration.
+type tournamentJob struct {
+	stats    machine.Stats
+	weighted float64
+	deferred uint64
+}
+
+// TournamentBatch runs every workload × policy pairing on the worker
+// pool: per workload, one shared 1-core baseline plus one migration
+// machine per policy. Rows come back grouped by workload, policies in
+// input order.
+func TournamentBatch(reg *workloads.Registry, names []string, tc TournamentConfig, opt RunOptions) ([]TournamentRow, error) {
+	if len(tc.Policies) == 0 {
+		return nil, fmt.Errorf("report: tournament needs at least one policy")
+	}
+	normalCfg := machine.NormalConfig()
+	migCfgs := make([]machine.Config, len(tc.Policies))
+	for i, pol := range tc.Policies {
+		cfg, err := machine.MigrationConfigScenario(tc.Cores, pol, tc.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("report: policy %q: %w", pol, err)
+		}
+		migCfgs[i] = cfg
+	}
+	if err := validateConfigs(append([]machine.Config{normalCfg}, migCfgs...)...); err != nil {
+		return nil, err
+	}
+	// Job layout: workload i occupies the slots [i*(P+1), (i+1)*(P+1)) —
+	// the baseline first, then one job per policy.
+	per := len(tc.Policies) + 1
+	label := func(j int) string {
+		if j%per == 0 {
+			return names[j/per] + " (1-core)"
+		}
+		return names[j/per] + " (" + tc.Policies[j%per-1] + ")"
+	}
+	jobs, err := runner.Map(opt.ctx(), per*len(names), opt.config(label),
+		func(_ context.Context, j int) (tournamentJob, error) {
+			w, err := reg.New(names[j/per])
+			if err != nil {
+				return tournamentJob{}, err
+			}
+			cfg := normalCfg
+			if j%per != 0 {
+				cfg = migCfgs[j%per-1]
+			}
+			m, err := machine.New(cfg)
+			if err != nil {
+				return tournamentJob{}, err
+			}
+			runBatched(w, m, tc.Budget)
+			job := tournamentJob{stats: m.FinalStats(), weighted: m.WeightedMigrationCost()}
+			if np, ok := m.Policy().(*migration.NumaPolicy); ok {
+				job.deferred = np.Deferred
+			}
+			return job, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	pmig := tc.Pmig
+	if pmig == 0 {
+		pmig = DefaultPmig
+	}
+	tm := migration.DefaultTimeModel()
+	var rows []TournamentRow
+	for i, name := range names {
+		w, err := reg.New(name)
+		if err != nil {
+			return nil, err
+		}
+		baseline := jobs[i*per]
+		for p, pol := range tc.Policies {
+			job := jobs[i*per+1+p]
+			row := TournamentRow{
+				Name:         w.Name(),
+				Suite:        w.Suite(),
+				Policy:       pol,
+				Normal:       baseline.stats,
+				Migrated:     job.stats,
+				WeightedCost: job.weighted,
+				Deferred:     job.deferred,
+			}
+			nRate := float64(baseline.stats.L2Misses) / float64(baseline.stats.Instructions)
+			mRate := float64(job.stats.L2Misses) / float64(job.stats.Instructions)
+			if nRate > 0 {
+				row.Ratio = mRate / nRate
+			}
+			row.Speedup = tm.SpeedupWeighted(baseline.stats.Outcome(), job.stats.Outcome(), pmig, job.weighted)
+			if be, ok := migration.MissesRemovedPerMigration(baseline.stats.Outcome(), job.stats.Outcome()); ok {
+				row.BreakEvenPmig = be
+				row.HasMigrations = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTournament renders the league table: one line per workload ×
+// policy, grouped by workload. The speedup column charges pmig (0 =
+// DefaultPmig) per unit of weighted migration distance.
+func FormatTournament(rows []TournamentRow, pmig float64) string {
+	if pmig == 0 {
+		pmig = DefaultPmig
+	}
+	t := stats.NewTable("benchmark", "policy", "L2 miss", "mig L2 miss", "ratio",
+		"migration", "deferred", "wcost", fmt.Sprintf("speedup@%g", pmig))
+	for _, r := range rows {
+		mig := "-"
+		if r.HasMigrations {
+			mig = stats.PerEvent(r.Migrated.Instructions, r.Migrated.Migrations)
+		}
+		t.AddRow(r.Name, r.Policy,
+			stats.PerEvent(r.Normal.Instructions, r.Normal.L2Misses),
+			stats.PerEvent(r.Migrated.Instructions, r.Migrated.L2Misses),
+			stats.Ratio(r.Ratio, 1),
+			mig,
+			fmt.Sprintf("%d", r.Deferred),
+			stats.SciNotation(r.WeightedCost),
+			stats.Ratio(r.Speedup, 1),
+		)
+	}
+	return t.String()
+}
+
+// MultiRunConfig parameterises a multiprogrammed run.
+type MultiRunConfig struct {
+	// Workloads names one workload per program (K entries = K programs).
+	Workloads []string
+	// Instr is the per-program instruction budget.
+	Instr uint64
+	// Cores is the shared machine's core count.
+	Cores int
+	// Policy/Topology select the migration scenario (defaults: Michaud,
+	// uniform).
+	Policy   string
+	Topology string
+}
+
+// ProgramResultJSON is one program's outcome in a multiprogrammed run:
+// its stats on the contended cluster, and its solo 1-core baseline.
+type ProgramResultJSON struct {
+	Workload string        `json:"workload"`
+	Stats    machine.Stats `json:"stats"`
+	Solo     machine.Stats `json:"solo"`
+}
+
+// MultiRunResultJSON is the canonical JSON shape of one multiprogrammed
+// run.
+type MultiRunResultJSON struct {
+	Instr    uint64 `json:"instr"`
+	Cores    int    `json:"cores"`
+	Programs int    `json:"programs"`
+	Policy   string `json:"policy,omitempty"`
+	Topology string `json:"topology,omitempty"`
+
+	PerProgram []ProgramResultJSON `json:"per_program"`
+	Totals     machine.Stats       `json:"totals"`
+}
+
+// WriteMultiRunJSON encodes r deterministically.
+func WriteMultiRunJSON(w io.Writer, r MultiRunResultJSON) error { return writeJSON(w, r) }
+
+// MultiRun co-schedules the configured programs on one shared-L2
+// cluster (serial, deterministically interleaved), runs each program's
+// solo 1-core baseline on the worker pool, and assembles the combined
+// result. Output is byte-identical for every opt.Workers value: the
+// cluster pass is inherently serial and the solo jobs come back in
+// input order.
+func MultiRun(reg *workloads.Registry, mc MultiRunConfig, opt RunOptions) (MultiRunResultJSON, error) {
+	if len(mc.Workloads) == 0 {
+		return MultiRunResultJSON{}, fmt.Errorf("report: multiprogram run needs at least one workload")
+	}
+	cfg, err := machine.MigrationConfigScenario(mc.Cores, mc.Policy, mc.Topology)
+	if err != nil {
+		return MultiRunResultJSON{}, err
+	}
+	// Constructing every workload up front surfaces name typos before
+	// the cluster spins up.
+	for _, name := range mc.Workloads {
+		if _, err := reg.New(name); err != nil {
+			return MultiRunResultJSON{}, err
+		}
+	}
+	cluster, err := machine.NewCluster(cfg, len(mc.Workloads))
+	if err != nil {
+		return MultiRunResultJSON{}, err
+	}
+	feeds := make([]machine.Feed, len(mc.Workloads))
+	for i, name := range mc.Workloads {
+		feeds[i] = func(sink mem.BatchSink) error {
+			w, err := reg.New(name)
+			if err != nil {
+				return err
+			}
+			w.Run(sink, mc.Instr)
+			return nil
+		}
+	}
+	if err := cluster.Run(feeds); err != nil {
+		return MultiRunResultJSON{}, err
+	}
+	solo, err := runner.Map(opt.ctx(), len(mc.Workloads),
+		opt.config(func(i int) string { return mc.Workloads[i] + " (solo)" }),
+		func(_ context.Context, i int) (machine.Stats, error) {
+			w, err := reg.New(mc.Workloads[i])
+			if err != nil {
+				return machine.Stats{}, err
+			}
+			m, err := machine.New(machine.NormalConfig())
+			if err != nil {
+				return machine.Stats{}, err
+			}
+			runBatched(w, m, mc.Instr)
+			return m.FinalStats(), nil
+		})
+	if err != nil {
+		return MultiRunResultJSON{}, err
+	}
+	res := MultiRunResultJSON{
+		Instr:    mc.Instr,
+		Cores:    mc.Cores,
+		Programs: len(mc.Workloads),
+		Policy:   cfg.Policy,
+		Totals:   cluster.Totals(),
+	}
+	if cfg.Topology != nil {
+		res.Topology = cfg.Topology.Name
+	}
+	for i, name := range mc.Workloads {
+		res.PerProgram = append(res.PerProgram, ProgramResultJSON{
+			Workload: name,
+			Stats:    cluster.Program(i).FinalStats(),
+			Solo:     solo[i],
+		})
+	}
+	return res, nil
+}
+
+// FormatMultiRun renders the multiprogrammed run: one line per program
+// comparing its contended L2 miss rate against its solo baseline, and a
+// totals line.
+func FormatMultiRun(r MultiRunResultJSON) string {
+	t := stats.NewTable("program", "workload", "instr(M)", "L2 miss", "solo L2 miss", "slowdown", "migration")
+	for i, p := range r.PerProgram {
+		// Contention slowdown proxy: contended L2 miss rate over solo
+		// miss rate (>1 = sharing cost misses).
+		slow := "-"
+		soloRate := float64(p.Solo.L2Misses) / float64(p.Solo.Instructions)
+		rate := float64(p.Stats.L2Misses) / float64(p.Stats.Instructions)
+		if soloRate > 0 {
+			slow = stats.Ratio(rate/soloRate, 1)
+		}
+		mig := "-"
+		if p.Stats.Migrations > 0 {
+			mig = stats.PerEvent(p.Stats.Instructions, p.Stats.Migrations)
+		}
+		t.AddRow(fmt.Sprintf("P%d", i), p.Workload,
+			stats.Millions(p.Stats.Instructions),
+			stats.PerEvent(p.Stats.Instructions, p.Stats.L2Misses),
+			stats.PerEvent(p.Solo.Instructions, p.Solo.L2Misses),
+			slow, mig)
+	}
+	t.AddRow("total", "-", stats.Millions(r.Totals.Instructions),
+		stats.PerEvent(r.Totals.Instructions, r.Totals.L2Misses), "-", "-", "-")
+	return t.String()
+}

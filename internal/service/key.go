@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/machine"
+	"repro/internal/migration"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workloads/suite"
@@ -33,13 +35,26 @@ const (
 )
 
 // RunSpec is the canonical identity of one /run request: workload name,
-// instruction budget, migration-machine core count. JSON field order in
-// the request body is irrelevant — the key is computed from this struct
-// after normalization, never from the request bytes.
+// instruction budget, migration-machine core count, and the migration
+// scenario (policy, topology, co-scheduled program list). JSON field
+// order in the request body is irrelevant — the key is computed from
+// this struct after normalization, never from the request bytes.
 type RunSpec struct {
 	Workload string `json:"workload"`
 	Instr    uint64 `json:"instr,omitempty"`
 	Cores    int    `json:"cores,omitempty"`
+
+	// Policy and Topology select the migration scenario; the Michaud
+	// default and the uniform chip normalize to "", so spelling out a
+	// default hits the same cache entry as omitting it.
+	Policy   string `json:"policy,omitempty"`
+	Topology string `json:"topology,omitempty"`
+
+	// Programs, when non-empty, makes this a multiprogrammed request:
+	// one workload name per co-scheduled program sharing an L2 complex.
+	// Mutually exclusive with Workload; the response body is the
+	// MultiRunResultJSON shape instead of RunResultJSON.
+	Programs []string `json:"programs,omitempty"`
 }
 
 // normalized returns the spec with defaults filled in.
@@ -49,6 +64,12 @@ func (s RunSpec) normalized() RunSpec {
 	}
 	if s.Cores == 0 {
 		s.Cores = DefaultCores
+	}
+	if s.Policy == migration.PolicyMichaud {
+		s.Policy = ""
+	}
+	if s.Topology == migration.TopologyUniform {
+		s.Topology = ""
 	}
 	return s
 }
@@ -60,6 +81,20 @@ func (s RunSpec) validate() error {
 	case 2, 4, 8:
 	default:
 		return fmt.Errorf("cores must be 2, 4 or 8, got %d", s.Cores)
+	}
+	if _, err := machine.MigrationConfigScenario(s.Cores, s.Policy, s.Topology); err != nil {
+		return err
+	}
+	if len(s.Programs) > 0 {
+		if s.Workload != "" {
+			return fmt.Errorf("workload and programs are mutually exclusive")
+		}
+		for _, n := range s.Programs {
+			if _, err := suite.Registry().New(n); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if s.Workload == "" {
 		return fmt.Errorf("workload is required")
@@ -73,10 +108,23 @@ func (s RunSpec) validate() error {
 // Key returns the spec's content address: a hex SHA-256 over the
 // canonical field encoding plus the trace-format version. Two requests
 // with the same normalized fields share a key regardless of JSON field
-// order or whether defaults were spelled out.
+// order or whether defaults were spelled out. Scenario fields append to
+// the encoding only when non-default, so every pre-policy key is
+// unchanged and cached results stay addressable.
 func (s RunSpec) Key() string {
 	n := s.normalized()
-	return hashKey(fmt.Sprintf("op=run\nworkload=%s\ninstr=%d\ncores=%d", n.Workload, n.Instr, n.Cores))
+	var b strings.Builder
+	fmt.Fprintf(&b, "op=run\nworkload=%s\ninstr=%d\ncores=%d", n.Workload, n.Instr, n.Cores)
+	if n.Policy != "" {
+		fmt.Fprintf(&b, "\npolicy=%s", n.Policy)
+	}
+	if n.Topology != "" {
+		fmt.Fprintf(&b, "\ntopology=%s", n.Topology)
+	}
+	if len(n.Programs) > 0 {
+		fmt.Fprintf(&b, "\nprograms=%s", strings.Join(n.Programs, ","))
+	}
+	return hashKey(b.String())
 }
 
 // SweepSpec is the canonical identity of one /sweep request. Sizes are

@@ -24,6 +24,16 @@ func TestRunKeyCanonicalization(t *testing.T) {
 		{"different workload", `{"workload":"em3d"}`, false},
 		{"different instr", `{"workload":"mst","instr":19999999}`, false},
 		{"different cores", `{"workload":"mst","cores":8}`, false},
+		// The scenario fields joined the key after the policy refactor:
+		// spelled-out defaults still hash to the pre-policy key (cached
+		// results stay addressable), non-defaults are load-bearing.
+		{"default policy spelled out", `{"workload":"mst","policy":"michaud"}`, true},
+		{"default topology spelled out", `{"workload":"mst","topology":"uniform"}`, true},
+		{"both defaults spelled out", `{"workload":"mst","policy":"michaud","topology":"uniform"}`, true},
+		{"numa policy", `{"workload":"mst","policy":"numa"}`, false},
+		{"never policy", `{"workload":"mst","policy":"never"}`, false},
+		{"cluster topology", `{"workload":"mst","topology":"cluster"}`, false},
+		{"multiprogram", `{"programs":["mst","mst"]}`, false},
 	}
 	want := base.Key()
 	for _, c := range cases {
@@ -77,13 +87,23 @@ func TestRunSpecValidate(t *testing.T) {
 		{Workload: "mst", Cores: 3},
 		{Workload: "no-such-workload"},
 		{},
+		{Workload: "mst", Policy: "no-such-policy"},
+		{Workload: "mst", Topology: "no-such-topology"},
+		{Workload: "mst", Programs: []string{"em3d"}}, // mutually exclusive
+		{Programs: []string{"no-such-workload"}},
 	} {
 		if err := bad.normalized().validate(); err == nil {
 			t.Errorf("spec %+v accepted", bad)
 		}
 	}
-	if err := (RunSpec{Workload: "mst"}).normalized().validate(); err != nil {
-		t.Errorf("valid spec rejected: %v", err)
+	for _, good := range []RunSpec{
+		{Workload: "mst"},
+		{Workload: "mst", Policy: "numa", Topology: "ring"},
+		{Programs: []string{"mst", "em3d"}},
+	} {
+		if err := good.normalized().validate(); err != nil {
+			t.Errorf("valid spec %+v rejected: %v", good, err)
+		}
 	}
 	for _, bad := range []SweepSpec{
 		{Cores: 5},

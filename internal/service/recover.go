@@ -92,7 +92,11 @@ func (s *Service) recoverOne(ctx context.Context, path string, rep *RecoveryRepo
 		rep.Foreign++
 		return
 	}
-	spec := RunSpec{Workload: ck.Workload, Instr: ck.Instr, Cores: ck.Cores}.normalized()
+	spec := RunSpec{Workload: ck.Workload, Instr: ck.Instr, Cores: ck.Cores}
+	if ext := ck.Ext(); ext != nil {
+		spec.Policy, spec.Topology = ext.Policy, ext.Topology
+	}
+	spec = spec.normalized()
 	if err := spec.validate(); err != nil {
 		s.quarantineSpool(path, rep, fmt.Errorf("service: unusable spool checkpoint %s: %w", path, err))
 		return
@@ -183,7 +187,7 @@ func (s *Service) resumeJob(ctx context.Context, spec RunSpec, ck *machine.Check
 	if err != nil {
 		return nil, false, err
 	}
-	migCfg, err := machine.MigrationConfigFor(spec.Cores)
+	migCfg, err := machine.MigrationConfigScenario(spec.Cores, spec.Policy, spec.Topology)
 	if err != nil {
 		return nil, false, err
 	}
@@ -204,6 +208,17 @@ func (s *Service) resumeJob(ctx context.Context, spec RunSpec, ck *machine.Check
 	}
 	if err := mig.Restore(*ms); err != nil {
 		return nil, false, err
+	}
+	// Non-Michaud policy state rides the checkpoint extension (the
+	// snapshot's Controller field stays nil for those machines).
+	if ext := ck.Ext(); ext != nil {
+		ps, err := ext.State("migration")
+		if err != nil {
+			return nil, false, err
+		}
+		if err := mig.SetPolicyState(ps); err != nil {
+			return nil, false, err
+		}
 	}
 
 	jobCtx, cancel := s.jobContext(ctx)
@@ -237,6 +252,8 @@ func (s *Service) resumeJob(ctx context.Context, spec RunSpec, ck *machine.Check
 		Workload:  spec.Workload,
 		Instr:     spec.Instr,
 		Cores:     spec.Cores,
+		Policy:    spec.Policy,
+		Topology:  spec.Topology,
 		Events:    sink.events,
 		Normal:    normal.FinalStats(),
 		Migration: mig.FinalStats(),

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// TestRunScenarioSpecs: /run carries the policy scenario end to end —
+// a numa request reports its policy and topology, explicit defaults
+// serve the same cache entry as an unadorned request, and distinct
+// scenarios never collide in the cache.
+func TestRunScenarioSpecs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ctx := context.Background()
+
+	plain, _, err := s.Run(ctx, smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), `"policy"`) {
+		t.Fatalf("default run leaks a policy field:\n%s", plain)
+	}
+
+	explicit := smallSpec
+	explicit.Policy, explicit.Topology = "michaud", "uniform"
+	spelled, cached, err := s.Run(ctx, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("spelled-out defaults missed the cache")
+	}
+	if !bytes.Equal(spelled, plain) {
+		t.Fatal("spelled-out defaults served different bytes")
+	}
+
+	numaSpec := smallSpec
+	numaSpec.Policy, numaSpec.Topology = "numa", "cluster"
+	numa, cached, err := s.Run(ctx, numaSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("numa scenario served from the michaud cache entry")
+	}
+	var res report.RunResultJSON
+	if err := json.Unmarshal(numa, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "numa" || res.Topology != "cluster" {
+		t.Fatalf("scenario missing from response: policy=%q topology=%q", res.Policy, res.Topology)
+	}
+}
+
+// TestRunMultiprogramSpec: a programs request returns the
+// MultiRunResultJSON shape with per-program results summing to the
+// totals, and repeats are cache hits.
+func TestRunMultiprogramSpec(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ctx := context.Background()
+	spec := RunSpec{Programs: []string{"mst", "em3d"}, Instr: 100_000, Cores: 4}
+
+	cold, cached, err := s.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first multiprogram run reported as cached")
+	}
+	var res report.MultiRunResultJSON
+	if err := json.Unmarshal(cold, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Programs != 2 || len(res.PerProgram) != 2 {
+		t.Fatalf("program count %d/%d, want 2", res.Programs, len(res.PerProgram))
+	}
+	var sum machine.Stats
+	for _, p := range res.PerProgram {
+		sum = machine.AddStats(sum, p.Stats)
+	}
+	if sum != res.Totals {
+		t.Fatalf("per-program stats do not sum to totals:\n%+v\nvs\n%+v", sum, res.Totals)
+	}
+
+	warm, cached, err := s.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !bytes.Equal(warm, cold) {
+		t.Fatal("multiprogram repeat not served byte-identically from cache")
+	}
+}

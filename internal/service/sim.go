@@ -127,11 +127,14 @@ func driveJob(workload string, instr uint64, sink mem.BatchSink) (interrupted bo
 // directory is configured, the partial machines are checkpointed first
 // so the work is resumable with `emsim -resume`.
 func (s *Service) runJob(ctx context.Context, spec RunSpec) ([]byte, error) {
+	if len(spec.Programs) > 0 {
+		return s.multiJob(ctx, spec)
+	}
 	normal, err := machine.New(machine.NormalConfig())
 	if err != nil {
 		return nil, err
 	}
-	migCfg, err := machine.MigrationConfigFor(spec.Cores)
+	migCfg, err := machine.MigrationConfigScenario(spec.Cores, spec.Policy, spec.Topology)
 	if err != nil {
 		return nil, &BadRequestError{err}
 	}
@@ -166,11 +169,42 @@ func (s *Service) runJob(ctx context.Context, spec RunSpec) ([]byte, error) {
 		Workload:  spec.Workload,
 		Instr:     spec.Instr,
 		Cores:     spec.Cores,
+		Policy:    spec.Policy,   // normalized: "" for the Michaud default
+		Topology:  spec.Topology, // normalized: "" for the uniform chip
 		Events:    sink.events,
 		Normal:    normal.FinalStats(),
 		Migration: mig.FinalStats(),
 	})
 	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// multiJob executes one multiprogrammed /run request: K programs
+// co-scheduled on a shared L2 complex, each compared against its solo
+// baseline. The cluster pass is inherently serial and uninterruptible;
+// cancellation is observed between phases and during the solo baseline
+// jobs, which is acceptable because multiprogram requests carry no
+// checkpoint machinery to spool.
+func (s *Service) multiJob(ctx context.Context, spec RunSpec) ([]byte, error) {
+	jobCtx, cancel := s.jobContext(ctx)
+	defer cancel()
+	res, err := report.MultiRun(suite.Registry(), report.MultiRunConfig{
+		Workloads: spec.Programs,
+		Instr:     spec.Instr,
+		Cores:     spec.Cores,
+		Policy:    spec.Policy,
+		Topology:  spec.Topology,
+	}, report.RunOptions{Workers: 1, Context: jobCtx})
+	if err != nil {
+		if jobCtx.Err() != nil {
+			return nil, s.ctxError(ctx, "")
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.WriteMultiRunJSON(&buf, res); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -199,6 +233,22 @@ func (s *Service) spool(spec RunSpec, normal, mig *machine.Machine, events uint6
 			{Name: "normal", Snap: ns},
 			{Name: "migration", Snap: ms},
 		},
+	}
+	// Non-default scenarios ride the optional checkpoint extension,
+	// exactly as emsim -checkpoint writes it, so recovery (and emsim
+	// -resume) rebuilds the same policy.
+	if spec.Policy != "" || spec.Topology != "" {
+		ps, err := mig.PolicyState()
+		if err != nil {
+			return "", err
+		}
+		ck.SetExt(&machine.CheckpointExt{
+			Policy:   spec.Policy,
+			Topology: spec.Topology,
+			PolicyStates: []machine.NamedPolicyState{
+				{Name: "migration", State: ps},
+			},
+		})
 	}
 	if err := machine.SaveCheckpoint(path, ck); err != nil {
 		return "", err
