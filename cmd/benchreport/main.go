@@ -45,6 +45,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/migration"
 	"repro/internal/report"
+	"repro/internal/sampling"
 	"repro/internal/trace"
 )
 
@@ -149,6 +150,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: hot path %-14s %d refs...\n", cfg.name, *refs)
 		rep.HotPath = append(rep.HotPath, measureHotPath(cfg, *refs))
 	}
+	fmt.Fprintf(os.Stderr, "benchreport: hot path %-14s %d refs...\n", samplingProfileConfig, *refs)
+	rep.HotPath = append(rep.HotPath, measureSamplingProfile(*refs))
 
 	sizes := report.DefaultSweepSizes()
 	fmt.Fprintf(os.Stderr, "benchreport: sweep %d points x %d laps, serial...\n", len(sizes), *laps)
@@ -295,7 +298,9 @@ func checkGate(path string, rep Report) error {
 	}
 	var problems []string
 	for _, h := range rep.HotPath {
-		if h.AllocsPerOp != 0 {
+		// The sampling profiler legitimately allocates on cold lines (the
+		// LRU stack grows toward its cap); only its ns/ref is ratcheted.
+		if h.AllocsPerOp != 0 && h.Config != samplingProfileConfig {
 			problems = append(problems, fmt.Sprintf("%s: %.2f allocs/op (must be 0)", h.Config, h.AllocsPerOp))
 		}
 		norm := h.NsPerRef / rep.CalibNsPerOp
@@ -384,6 +389,55 @@ func measureHotPath(c hotPathConfig, refs uint64) HotPathResult {
 
 	return HotPathResult{
 		Config:      c.name,
+		Refs:        refs,
+		NsPerRef:    float64(best.Nanoseconds()) / float64(refs),
+		AllocsPerOp: allocs,
+	}
+}
+
+// samplingProfileConfig names the sampling profiling-pass entry in the
+// hot-path table. It rides the same ns/ref ratchet as the machine
+// configurations — the profiling pass is the part of `emsim -sample`
+// that touches every reference, so its overhead bounds how cheap a
+// sampled run can get — but is exempt from the allocs==0 gate (the LRU
+// stack allocates nodes while growing toward its cap).
+const samplingProfileConfig = "sampling-profile"
+
+// measureSamplingProfile times the interval profiler on the same
+// steady-state mix as the machine hot paths, through the same columnar
+// batch path, on a warm (steady-state) stack.
+func measureSamplingProfile(refs uint64) HotPathResult {
+	prof, err := sampling.NewProfiler(20_000, 6)
+	if err != nil {
+		//emlint:allowpanic compile-time-constant configuration; an error is an internal invariant violation
+		panic(err)
+	}
+	trace.Drive(trace.NewCircular(24<<10), prof, 100_000, 6, 3)
+
+	g := trace.NewCircular(24 << 10)
+	ba := mem.NewBatcher(prof, 0)
+	var i uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		steadyRef(ba, g, i)
+		i++
+	})
+	ba.Flush()
+
+	var best time.Duration
+	for rep := 0; rep < hotPathReps; rep++ {
+		g = trace.NewCircular(24 << 10)
+		start := time.Now()
+		for i := uint64(0); i < refs; i++ {
+			steadyRef(ba, g, i)
+		}
+		ba.Flush()
+		if elapsed := time.Since(start); rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+
+	return HotPathResult{
+		Config:      samplingProfileConfig,
 		Refs:        refs,
 		NsPerRef:    float64(best.Nanoseconds()) / float64(refs),
 		AllocsPerOp: allocs,

@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sampling"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads/suite"
@@ -113,8 +116,14 @@ func TestScalarBatchCheckpointResume(t *testing.T) {
 	}
 
 	// None of these is a multiple of the 4096-record batch length, and
-	// one sits exactly one event past a batch boundary.
-	for _, cut := range []uint64{1, 4097, 12_345, ref.Events - 3} {
+	// one sits exactly one event past a batch boundary. The sampling
+	// profiler's interval boundaries ride along: those are the events the
+	// -sample simulator cuts and warm-starts at, so checkpoint/resume
+	// parity there is what makes sampled estimates trustworthy on either
+	// delivery path.
+	cuts := []uint64{1, 4097, 12_345, ref.Events - 3}
+	cuts = append(cuts, samplingCuts(t, base, 3)...)
+	for _, cut := range cuts {
 		for _, resumeScalar := range []bool{false, true} {
 			t.Run(fmt.Sprintf("cut=%d scalarResume=%v", cut, resumeScalar), func(t *testing.T) {
 				ckpt := filepath.Join(dir, fmt.Sprintf("cut%d-%v.ckpt", cut, resumeScalar))
@@ -143,4 +152,36 @@ func TestScalarBatchCheckpointResume(t *testing.T) {
 			})
 		}
 	}
+}
+
+// samplingCuts profiles the same workload the differential run uses and
+// returns up to n interval-start events — the exact points -sample
+// fast-forwards to and snapshots at. They are derived, not hardcoded,
+// so a change to event numbering or interval cutting shifts the cuts
+// with it.
+func samplingCuts(t *testing.T, base runParams, n int) []uint64 {
+	t.Helper()
+	w, err := suite.Registry().New(base.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sampling.NewProfiler(base.Instr/6, machine.NormalConfig().LineShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := mem.NewBatcher(prof, 0)
+	w.Run(ba, base.Instr)
+	ba.Flush()
+	intervals := prof.Finish()
+	var cuts []uint64
+	for _, iv := range intervals[1:] { // interval 0 starts at event 0: not a cut
+		if len(cuts) == n {
+			break
+		}
+		cuts = append(cuts, iv.StartEvent)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("profiler produced no interval boundaries to cut at")
+	}
+	return cuts
 }

@@ -65,6 +65,13 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve live metrics as JSON on this address (e.g. :8080) for the duration of the run")
 		jsonOut   = flag.Bool("json", false, "print the machine-readable result JSON instead of the human report")
 		scalar    = flag.Bool("scalar", false, "use the per-reference scalar delivery path instead of columnar batches (differential testing)")
+
+		sample         = flag.Bool("sample", false, "interval sampling: estimate the result from representative intervals only (output is clearly labelled ESTIMATED)")
+		sampleInterval = flag.Uint64("sample-interval", 1_000_000, "instructions per sampling interval")
+		sampleClusters = flag.Int("sample-clusters", 8, "number of interval clusters (representatives) to simulate")
+		sampleSeed     = flag.Uint64("sample-seed", 42, "clustering seed (same seed = byte-identical estimates)")
+		sampleWarmup   = flag.Int("sample-warmup", 1, "unmeasured warmup intervals simulated before each sampled interval")
+		sampleVerify   = flag.Bool("sample-verify", false, "also run at full fidelity and print the estimate-vs-actual error table")
 	)
 	flag.Parse()
 
@@ -103,12 +110,45 @@ func main() {
 			{*record != "", "-record"}, {*replay != "", "-replay"},
 			{*ckpt != "", "-checkpoint"}, {*resume != "", "-resume"},
 			{*timeline != "", "-timeline"}, {*metrics != "", "-metrics"},
-			{*scalar, "-scalar"},
+			{*scalar, "-scalar"}, {*sample, "-sample"},
 		} {
 			if bad.set {
 				fail(fmt.Errorf("emsim: %s is incompatible with -programs", bad.flag))
 			}
 		}
+	}
+	if *sample {
+		// A sampled run estimates; the stream-consuming side channels of
+		// a full run (checkpoints, timelines, live metrics) have no
+		// meaningful sampled counterpart and are rejected rather than
+		// silently ignored.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*record != "", "-record"}, {*ckpt != "", "-checkpoint"},
+			{*resume != "", "-resume"}, {*timeline != "", "-timeline"},
+			{*metrics != "", "-metrics"},
+		} {
+			if bad.set {
+				fail(fmt.Errorf("emsim: %s is incompatible with -sample", bad.flag))
+			}
+		}
+		if *sampleVerify && *jsonOut {
+			fail(fmt.Errorf("emsim: -sample-verify is incompatible with -json (the verify table is human output)"))
+		}
+	} else {
+		// Sampling sub-flags without -sample would silently do nothing;
+		// reject the ones the user explicitly set.
+		sampleFlags := map[string]bool{
+			"sample-interval": true, "sample-clusters": true,
+			"sample-seed": true, "sample-warmup": true, "sample-verify": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if sampleFlags[f.Name] {
+				fail(fmt.Errorf("emsim: -%s requires -sample", f.Name))
+			}
+		})
 	}
 	p := runParams{
 		Workload:        *name,
@@ -171,6 +211,31 @@ func main() {
 		return
 	}
 
+	if *sample {
+		sp := sampleParams{
+			Interval: *sampleInterval,
+			Clusters: *sampleClusters,
+			Seed:     *sampleSeed,
+			Warmup:   *sampleWarmup,
+			Verify:   *sampleVerify,
+		}
+		if err := sp.validate(); err != nil {
+			fail(err)
+		}
+		stopProfiles, err := startProfiles(*cpuprof, *memprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := runSample(os.Stdout, reg, p, sp, *jsonOut); err != nil {
+			stopProfiles()
+			fail(err)
+		}
+		if err := stopProfiles(); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	// First SIGINT requests a graceful stop (checkpoint + partial
 	// report); a second one falls through to the default handler.
 	var stop atomic.Bool
@@ -199,8 +264,11 @@ func main() {
 		fail(err)
 	}
 	if *timeline != "" {
-		if err := writeTimeline(*timeline, res.Timeline); err != nil {
+		if err := writeTimeline(*timeline, res.Timeline, res.TimelineDropped); err != nil {
 			fail(err)
+		}
+		if res.TimelineDropped > 0 {
+			fmt.Fprintf(os.Stderr, "emsim: timeline ring cap dropped the oldest %d rows (see the JSONL footer); raise -interval to keep the whole run\n", res.TimelineDropped)
 		}
 	}
 	if *jsonOut {

@@ -105,8 +105,10 @@ type runResult struct {
 
 	// Timeline holds the interval samples of both machines, merged into
 	// the deterministic output order (present only with
-	// runParams.TimelineInterval set).
-	Timeline []telemetry.Row
+	// runParams.TimelineInterval set). TimelineDropped counts the oldest
+	// rows the hard ring cap evicted before the surviving ones.
+	Timeline        []telemetry.Row
+	TimelineDropped uint64
 }
 
 // stopRun is the panic sentinel ckptSink throws to unwind out of a
@@ -484,6 +486,8 @@ func run(p *runParams) (*runResult, error) {
 		Interrupted: interrupted,
 		Resumed:     skip,
 		Timeline:    tel.finish(),
+
+		TimelineDropped: tel.droppedRows(),
 	}, nil
 }
 
@@ -523,5 +527,7 @@ func runIndependent(p *runParams, normal, mig *machine.Machine, tel *runTelemetr
 		Events:      max(sinks[0].events, sinks[1].events),
 		Interrupted: interrupted[0] || interrupted[1],
 		Timeline:    tel.finish(),
+
+		TimelineDropped: tel.droppedRows(),
 	}, nil
 }

@@ -425,7 +425,7 @@ func TestWriteRunJSON(t *testing.T) {
 // TestWriteTimelineCloseError: a timeline destination that cannot be
 // flushed (a directory) reports the failure instead of dropping it.
 func TestWriteTimelineCloseError(t *testing.T) {
-	if err := writeTimeline(t.TempDir(), nil); err == nil {
+	if err := writeTimeline(t.TempDir(), nil, 0); err == nil {
 		t.Fatal("writing a timeline to a directory succeeded")
 	}
 }

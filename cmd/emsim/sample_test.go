@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads/suite"
+)
+
+// TestSampleParamsValidate: the flag-level rejections, before any
+// simulation work starts.
+func TestSampleParamsValidate(t *testing.T) {
+	for _, bad := range []sampleParams{
+		{Interval: 0, Clusters: 4},
+		{Interval: 20_000, Clusters: 0},
+		{Interval: 20_000, Clusters: 4, Warmup: -1},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("params %+v accepted", bad)
+		}
+	}
+	ok := sampleParams{Interval: 20_000, Clusters: 4}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// TestRunSampleRendering: the CLI plumbing renders the ESTIMATED
+// report, appends the verification table when asked, and emits the
+// canonical JSON shape under -json.
+func TestRunSampleRendering(t *testing.T) {
+	p := runParams{Workload: "mst", Instr: 200_000, Cores: 4, Workers: 1}
+	sp := sampleParams{Interval: 20_000, Clusters: 3, Seed: 42, Warmup: 1}
+
+	var text bytes.Buffer
+	if err := runSample(&text, suite.Registry(), p, sp, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(text.String(), "ESTIMATED results for mst") {
+		t.Fatalf("report missing ESTIMATED label:\n%s", text.String())
+	}
+	if strings.Contains(text.String(), "sample verification") {
+		t.Fatal("verification table printed without -sample-verify")
+	}
+
+	var verified bytes.Buffer
+	sp.Verify = true
+	if err := runSample(&verified, suite.Registry(), p, sp, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(verified.String(), "sample verification") {
+		t.Fatalf("-sample-verify printed no verification table:\n%s", verified.String())
+	}
+	if !strings.HasPrefix(verified.String(), text.String()) {
+		t.Fatal("verification output does not extend the plain report")
+	}
+
+	var js bytes.Buffer
+	sp.Verify = false
+	if err := runSample(&js, suite.Registry(), p, sp, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"estimated": true`) {
+		t.Fatalf("JSON not marked estimated:\n%s", js.String())
+	}
+
+	// Errors from the pipeline surface, not panic: an unknown workload
+	// reaches SampleRun and comes back as its error.
+	bad := runParams{Workload: "no-such-workload", Instr: 200_000, Cores: 4, Workers: 1}
+	if err := runSample(&bytes.Buffer{}, suite.Registry(), bad, sp, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -97,17 +97,27 @@ func (rt *runTelemetry) finish() []telemetry.Row {
 	return telemetry.MergeRows(rt.normal.Rows("normal"), rt.mig.Rows("migration"))
 }
 
-// writeTimeline writes rows as JSONL to path ("-" = stdout).
-func writeTimeline(path string, rows []telemetry.Row) (err error) {
+// droppedRows sums both timelines' cap evictions, so the run report can
+// account for the missing prefix of the merged stream.
+func (rt *runTelemetry) droppedRows() uint64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.normal.Dropped() + rt.mig.Dropped()
+}
+
+// writeTimeline writes rows as JSONL to path ("-" = stdout), with the
+// drop-accounting footer when the ring cap evicted rows.
+func writeTimeline(path string, rows []telemetry.Row, dropped uint64) (err error) {
 	if path == "-" {
-		return telemetry.WriteJSONL(os.Stdout, rows)
+		return telemetry.WriteJSONLWithFooter(os.Stdout, rows, dropped)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer ioutilx.CloseKeeping(&err, f)
-	return telemetry.WriteJSONL(f, rows)
+	return telemetry.WriteJSONLWithFooter(f, rows, dropped)
 }
 
 // serveMetrics binds addr and serves the live metrics endpoint in the

@@ -64,6 +64,11 @@ func doRun(base string, argv []string, pol *retryPolicy, stdout, stderr io.Write
 	fs.Uint64Var(&req.Instr, "instr", 0, "instruction budget (0 = service default)")
 	fs.IntVar(&req.Cores, "cores", 0, "migration cores (0 = service default)")
 	fs.Uint64Var(&req.TimeoutMS, "timeout-ms", 0, "per-request deadline in ms (0 = service default)")
+	fs.BoolVar(&req.Sample, "sample", false, "request an interval-sampled ESTIMATED run instead of full fidelity")
+	fs.Uint64Var(&req.SampleInterval, "sample-interval", 0, "instructions per sampling interval (0 = service default)")
+	fs.IntVar(&req.SampleClusters, "sample-clusters", 0, "interval clusters for -sample (0 = service default)")
+	fs.Uint64Var(&req.SampleSeed, "sample-seed", 0, "clustering seed for -sample (0 = service default)")
+	fs.IntVar(&req.SampleWarmup, "sample-warmup", 0, "warmup intervals for -sample (0 = service default)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}

@@ -54,6 +54,12 @@ func retryableStatus(code int) bool {
 // failed). serverHint is the parsed Retry-After (0 = none); the client
 // honours it as a floor under its own jittered backoff, so a server
 // asking for 2s quiet gets at least that even on the first retry.
+//
+// The -max-elapsed budget is a clamp, not a predicate: a delay that
+// would run past the budget is shortened to exactly the remaining
+// budget (the attempt itself is still worth sending — the budget
+// bounds waiting, and refusing it would strand the remainder unused).
+// Only a fully spent budget skips the attempt without sleeping.
 func (p *retryPolicy) wait(attempt int, serverHint time.Duration) bool {
 	if attempt >= p.retries {
 		return false
@@ -66,8 +72,12 @@ func (p *retryPolicy) wait(attempt int, serverHint time.Duration) bool {
 		if p.start.IsZero() {
 			p.start = p.now()
 		}
-		if p.now().Add(d).Sub(p.start) > p.maxElapsed {
+		remaining := p.maxElapsed - p.now().Sub(p.start)
+		if remaining <= 0 {
 			return false
+		}
+		if d > remaining {
+			d = remaining
 		}
 	}
 	p.sleep(d)

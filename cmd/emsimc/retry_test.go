@@ -90,11 +90,48 @@ func TestRetryPolicyBudgets(t *testing.T) {
 	if !p.wait(0, time.Second) {
 		t.Fatal("retry within elapsed budget refused")
 	}
-	if p.wait(1, time.Hour) {
-		t.Fatal("retry that would blow -max-elapsed allowed")
+	// 1s of the 3s budget is spent; an hour-long hint must clamp to the
+	// remaining 2s, not overshoot it and not be refused with budget left.
+	if !p.wait(1, time.Hour) {
+		t.Fatal("retry with budget remaining refused")
 	}
-	if len(*slept) != 1 {
+	if len(*slept) != 2 || (*slept)[1] != 2*time.Second {
+		t.Fatalf("slept %v, want the second sleep clamped to exactly 2s", *slept)
+	}
+	// The budget is now exactly spent: no further attempt, no sleep.
+	if p.wait(2, 0) {
+		t.Fatal("retry after budget spent allowed")
+	}
+	if len(*slept) != 2 {
 		t.Fatalf("refused retry still slept: %v", *slept)
+	}
+}
+
+// TestRetryPolicyClampsBackoffToBudget: the clamp applies to the
+// policy's own jittered backoff too, not just server hints, and the
+// virtual clock confirms the total elapsed never exceeds -max-elapsed.
+func TestRetryPolicyClampsBackoffToBudget(t *testing.T) {
+	budget := 250 * time.Millisecond
+	p, slept := fakePolicy(100, budget)
+	var total time.Duration
+	attempts := 0
+	for p.wait(attempts, 0) {
+		attempts++
+		if attempts > 100 {
+			t.Fatal("retry loop did not terminate")
+		}
+	}
+	for _, d := range *slept {
+		total += d
+	}
+	if total > budget {
+		t.Fatalf("total sleep %v overshot the %v budget", total, budget)
+	}
+	if total != budget {
+		t.Fatalf("total sleep %v left budget unused (want exactly %v: last sleep clamps to the remainder)", total, budget)
+	}
+	if attempts == 0 {
+		t.Fatal("no retry attempted despite available budget")
 	}
 }
 

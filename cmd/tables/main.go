@@ -13,6 +13,7 @@
 //	tables -only 179.art,181.mcf  # restrict to some workloads
 //	tables -j 8                   # worker pool size (0 = all cores, 1 = serial)
 //	tables -tournament -policies michaud,numa,never -topology cluster
+//	tables -sample -sample-interval 1000000 -sample-clusters 8  # ESTIMATED sampled sweep
 
 package main
 
@@ -45,6 +46,12 @@ func main() {
 		topology = flag.String("topology", "", "core-distance topology for -tournament (default uniform)")
 		pmig     = flag.Float64("pmig", 0, "reference migration penalty for the -tournament speedup column (0 = default)")
 		outPath  = flag.String("o", "", "write the tables to this file instead of stdout")
+
+		sample         = flag.Bool("sample", false, "print the interval-sampling sweep (ESTIMATED Table 2 headline columns with error bars) and exit")
+		sampleInterval = flag.Uint64("sample-interval", 1_000_000, "instructions per sampling interval")
+		sampleClusters = flag.Int("sample-clusters", 8, "interval clusters (representatives) per workload")
+		sampleSeed     = flag.Uint64("sample-seed", 42, "clustering seed")
+		sampleWarmup   = flag.Int("sample-warmup", 1, "unmeasured warmup intervals before each sampled interval")
 	)
 	flag.Parse()
 
@@ -59,7 +66,7 @@ func main() {
 		}
 	}
 
-	if !*t1 && !*t2 && !*timeline && !*sweep && !*tourney {
+	if !*t1 && !*t2 && !*timeline && !*sweep && !*tourney && !*sample {
 		*t1, *t2 = true, true
 	}
 
@@ -107,6 +114,26 @@ func main() {
 				return err
 			}
 			fmt.Fprintln(out, report.FormatTournament(rows, *pmig))
+			return nil
+		}
+
+		if *sample {
+			fmt.Fprintf(out, "ESTIMATED sampled sweep (interval sampling): %dM instructions per workload,\n", *instr/1_000_000)
+			fmt.Fprintf(out, "intervals of %d instr, %d clusters, seed %d, warmup %d; rates are per\n",
+				*sampleInterval, *sampleClusters, *sampleSeed, *sampleWarmup)
+			fmt.Fprintf(out, "retired instruction with ±1 standard error; nothing below is a measured total.\n\n")
+			results, err := report.SampleBatch(reg, names, report.SampleConfig{
+				Instr:    *instr,
+				Cores:    *cores,
+				Interval: *sampleInterval,
+				Clusters: *sampleClusters,
+				Seed:     *sampleSeed,
+				Warmup:   *sampleWarmup,
+			}, opt("sample"))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, report.FormatSampleBatch(results))
 			return nil
 		}
 

@@ -65,7 +65,11 @@ var All = []*analysis.Analyzer{
 // pluggable: every policy's trigger/target decisions feed the
 // tournament and multiprogram tables directly, so a wall-clock or
 // map-order read there would break byte identity for non-default
-// scenarios.
+// scenarios. The sampling package joined with emsim -sample: its
+// fingerprints, medoid choices and reconstructed estimates are the
+// result for sampled runs — a map-order iteration or wall-clock read
+// anywhere in that pipeline would break the serial == -j N byte
+// identity the sampled report promises.
 var resultPackages = map[string]bool{
 	ModulePath + "/internal/report":    true,
 	ModulePath + "/internal/runner":    true,
@@ -78,6 +82,7 @@ var resultPackages = map[string]bool{
 	ModulePath + "/internal/mem":       true,
 	ModulePath + "/internal/trace":     true,
 	ModulePath + "/internal/cache":     true,
+	ModulePath + "/internal/sampling":  true,
 }
 
 // ctxPackages are the packages whose goroutines participate in the

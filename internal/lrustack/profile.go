@@ -80,6 +80,37 @@ func (p *Profile) Frac(i int) float64 {
 	return float64(p.Misses[i]) / float64(p.Refs)
 }
 
+// Reset zeroes the accumulated counts, keeping the threshold grid. The
+// interval sampler uses it to carve one long reference stream into
+// per-interval profiles over a single persistent Stack: the stack keeps
+// the cross-interval reuse history while each interval's counts start
+// fresh.
+func (p *Profile) Reset() {
+	for i := range p.Misses {
+		p.Misses[i] = 0
+	}
+	p.Cold = 0
+	p.Refs = 0
+}
+
+// Signature exports the profile as a normalized working-set fingerprint:
+// one miss fraction per threshold followed by the cold (first-touch)
+// fraction. Two intervals with similar signatures exercise the cache
+// hierarchy similarly at every capacity in the grid, which is what makes
+// the vector a clustering feature for interval sampling. A profile with
+// no references yields the all-zero vector.
+func (p *Profile) Signature() []float64 {
+	sig := make([]float64, len(p.Thresholds)+1)
+	if p.Refs == 0 {
+		return sig
+	}
+	for i := range p.Thresholds {
+		sig[i] = float64(p.Misses[i]) / float64(p.Refs)
+	}
+	sig[len(p.Thresholds)] = float64(p.Cold) / float64(p.Refs)
+	return sig
+}
+
 // MultiStack routes each reference to one of k stacks (the §4.1 "split"
 // experiment: the 4-way splitter chooses the stack) and accumulates one
 // global profile across all of them.

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The interval-sampling warm-start property: at any interval boundary,
+// replacing a machine with a fresh one restored from an EMCKPT1
+// round-trip of its own snapshot and replaying the next interval must
+// be indistinguishable from never having stopped — not just in final
+// stats but in the checkpoint bytes of the end state, which cover every
+// field the format carries. This is the invariant that lets emsim
+// -sample warm-start every measured interval from checkpoint state and
+// still claim full-fidelity interval measurements.
+
+// intervalScenario is one machine configuration under test.
+type intervalScenario struct {
+	name             string
+	cores            int
+	policy, topology string // "" = the scenario needs no extension section
+	build            func() (*Machine, error)
+}
+
+func intervalScenarios() []intervalScenario {
+	return []intervalScenario{
+		{name: "normal", cores: 1,
+			build: func() (*Machine, error) { return New(NormalConfig()) }},
+		{name: "migration", cores: 4,
+			build: func() (*Machine, error) { return New(MigrationConfigN(4)) }},
+		{name: "numa-cluster", cores: 4, policy: "numa", topology: "cluster",
+			build: func() (*Machine, error) {
+				cfg, err := MigrationConfigScenario(4, "numa", "cluster")
+				if err != nil {
+					return nil, err
+				}
+				return New(cfg)
+			}},
+	}
+}
+
+// warmRestart round-trips m's state through the EMCKPT1 encode/decode
+// path — extension section included when the scenario needs one — and
+// returns a fresh machine restored from the decoded bytes, exactly as
+// the sampling simulator's warm start does.
+func warmRestart(t *testing.T, sc intervalScenario, m *Machine, events uint64) *Machine {
+	t.Helper()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		Cores:    sc.cores,
+		Events:   events,
+		Machines: []NamedSnapshot{{Name: sc.name, Snap: snap}},
+	}
+	if sc.policy != "" || sc.topology != "" {
+		ps, err := m.PolicyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck.SetExt(&CheckpointExt{
+			Policy:       sc.policy,
+			Topology:     sc.topology,
+			PolicyStates: []NamedPolicyState{{Name: sc.name, State: ps}},
+		})
+	}
+	ck, err = RoundTripCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sc.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ck.Machine(sc.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(*rs); err != nil {
+		t.Fatal(err)
+	}
+	if ext := ck.Ext(); ext != nil {
+		ps, err := ext.State(sc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.SetPolicyState(ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fresh
+}
+
+// endStateBytes serialises a machine's complete observable end state to
+// checkpoint bytes, so two runs can be compared byte-for-byte rather
+// than field-by-field.
+func endStateBytes(t *testing.T, sc intervalScenario, m *Machine) []byte {
+	t.Helper()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{
+		Cores:    sc.cores,
+		Machines: []NamedSnapshot{{Name: sc.name, Snap: snap}},
+	}
+	if sc.policy != "" || sc.topology != "" {
+		ps, err := m.PolicyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck.SetExt(&CheckpointExt{
+			Policy:       sc.policy,
+			Topology:     sc.topology,
+			PolicyStates: []NamedPolicyState{{Name: sc.name, State: ps}},
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIntervalWarmStartReplayIdentical: restore-at-interval-i, replay
+// to interval i+1 == uninterrupted run, per boundary, for all three
+// scenario shapes. The interrupted run warm-restarts at EVERY interval
+// boundary, so each i→i+1 segment runs on checkpoint-born state; the
+// end states must still serialise to identical bytes.
+func TestIntervalWarmStartReplayIdentical(t *testing.T) {
+	// A working set larger than one L2's 8192 lines keeps the caches
+	// churning (and the migration controller active) across boundaries.
+	evs := captureSynthetic(12<<10, 120_000)
+	const interval = 17_000 // off any power-of-two structure in the stream
+
+	for _, sc := range intervalScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			ref, err := sc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			deliver(t, evs, ref)
+
+			m, err := sc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for start := 0; start < len(evs); start += interval {
+				end := start + interval
+				if end > len(evs) {
+					end = len(evs)
+				}
+				deliver(t, evs[start:end], m)
+				if end < len(evs) {
+					m = warmRestart(t, sc, m, uint64(end))
+				}
+			}
+
+			if m.Stats != ref.Stats {
+				t.Errorf("stats diverge after warm-started replay:\nwarm: %+v\nref:  %+v", m.Stats, ref.Stats)
+			}
+			wb, rb := endStateBytes(t, sc, m), endStateBytes(t, sc, ref)
+			if !bytes.Equal(wb, rb) {
+				t.Errorf("end-state checkpoint bytes diverge (%d vs %d bytes)", len(wb), len(rb))
+			}
+		})
+	}
+}

@@ -20,6 +20,9 @@ type TimelineResult struct {
 	Name     string
 	Interval uint64
 	Rows     []telemetry.Row
+	// Dropped counts the oldest rows the timelines' hard ring cap
+	// evicted across both machines; nonzero means Rows is a suffix.
+	Dropped uint64
 	// NormalFinal and MigFinal are the machines' final metric values —
 	// the last timeline point even when the run ends off-boundary.
 	NormalFinal, MigFinal telemetry.Snapshot
@@ -48,8 +51,9 @@ func (s *sampledSink) Instr(n uint64) {
 
 // timelineHalf is one machine pass of one workload.
 type timelineHalf struct {
-	rows  []telemetry.Row
-	final telemetry.Snapshot
+	rows    []telemetry.Row
+	dropped uint64
+	final   telemetry.Snapshot
 }
 
 // runTimelineHalf drives a fresh workload instance through one machine
@@ -69,7 +73,7 @@ func runTimelineHalf(reg *workloads.Registry, name string, budget uint64,
 		return timelineHalf{}, err
 	}
 	w.Run(&sampledSink{inner: m, tl: tl}, budget)
-	return timelineHalf{rows: tl.Rows(label), final: m.Telemetry().Snapshot()}, nil
+	return timelineHalf{rows: tl.Rows(label), dropped: tl.Dropped(), final: m.Telemetry().Snapshot()}, nil
 }
 
 // TimelineFor runs one workload through both machine configurations
@@ -121,12 +125,14 @@ func TimelineBatch(reg *workloads.Registry, names []string, budget, interval uin
 				acc.Workloads = append(acc.Workloads, TimelineResult{
 					Name:        names[j/2],
 					Interval:    interval,
+					Dropped:     half.dropped,
 					NormalFinal: half.final,
 					Rows:        half.rows,
 				})
 			} else {
 				r := &acc.Workloads[j/2]
 				r.MigFinal = half.final
+				r.Dropped += half.dropped
 				r.Rows = telemetry.MergeRows(r.Rows, half.rows)
 			}
 			telemetry.Merge(&acc.Aggregate, half.final)
@@ -151,7 +157,13 @@ func counterDelta(prev, cur *telemetry.Row, name string) uint64 {
 func FormatTimeline(batch TimelineBatchResult) string {
 	t := stats.NewTable("workload", "interval", "events",
 		"ΔL2miss 1-core", "ΔL2miss mig", "Δmigrations", "interval ratio")
+	var notes string
 	for _, wl := range batch.Workloads {
+		if wl.Dropped > 0 {
+			notes += fmt.Sprintf("note: %s hit the timeline ring cap; the oldest %d rows were dropped\n"+
+				"      and the first kept interval's deltas include the missing prefix.\n",
+				wl.Name, wl.Dropped)
+		}
 		var prevNormal, prevMig *telemetry.Row
 		// Rows alternate normal, migration per interval.
 		for i := 0; i+1 < len(wl.Rows); i += 2 {
@@ -168,5 +180,9 @@ func FormatTimeline(batch TimelineBatchResult) string {
 			prevNormal, prevMig = normal, mig
 		}
 	}
-	return t.String()
+	out := t.String()
+	if notes != "" {
+		out += "\n" + notes
+	}
+	return out
 }

@@ -1,0 +1,110 @@
+package sampling
+
+import "math"
+
+// Estimate is one reconstructed full-run metric with its error bar.
+type Estimate struct {
+	Machine string  `json:"machine"`
+	Metric  string  `json:"metric"`
+	Total   float64 `json:"total"`
+	Rate    float64 `json:"rate"` // Total per retired instruction
+	StdErr  float64 `json:"stderr"`
+	Lo      float64 `json:"lo"` // Total - z*StdErr, clamped at 0
+	Hi      float64 `json:"hi"` // Total + z*StdErr
+}
+
+// zCritical is the normal 95% critical value the error bars use.
+const zCritical = 1.96
+
+// relSEFloor floors the reported standard error at a fraction of the
+// estimated total when any cluster was only partially measured: the
+// one-probe variance estimate is itself high-variance, and a zero bar
+// on an extrapolated estimate would claim impossible certainty. Exact
+// reconstructions (every cluster fully measured, e.g. K == M) keep
+// their zero bars.
+const relSEFloor = 0.02
+
+// Estimates reconstructs the full-run totals from the measured
+// intervals by stratified estimation: each cluster contributes its size
+// times the mean of its measured intervals, and the variance sums the
+// per-cluster sample variances with finite-population correction (so a
+// fully measured cluster contributes none). Iteration is in fixed
+// cluster/metric order — same inputs, byte-identical estimates.
+func Estimates(plan Plan, sim SimResult, totalInstr uint64) []Estimate {
+	k := plan.Clusters.K()
+	nm := len(Metrics)
+	sum := make([][]float64, k)
+	sumsq := make([][]float64, k)
+	for c := range sum {
+		sum[c] = make([]float64, nm)
+		sumsq[c] = make([]float64, nm)
+	}
+	n := make([]int, k)
+	for _, ms := range sim.Measures {
+		c := ms.Cluster
+		n[c]++
+		for j, v := range ms.Values {
+			f := float64(v)
+			sum[c][j] += f
+			sumsq[c][j] += f * f
+		}
+	}
+	exact := true
+	for c := 0; c < k; c++ {
+		if n[c] < plan.Clusters.Size[c] {
+			exact = false
+		}
+	}
+
+	out := make([]Estimate, nm)
+	for j, def := range Metrics {
+		var total, variance float64
+		for c := 0; c < k; c++ {
+			if n[c] == 0 {
+				continue
+			}
+			N := float64(plan.Clusters.Size[c])
+			nc := float64(n[c])
+			mean := sum[c][j] / nc
+			total += N * mean
+			if n[c] >= 2 && plan.Clusters.Size[c] > n[c] {
+				// Sample variance via the sum-of-squares identity; the
+				// clamp absorbs float cancellation on near-equal values.
+				s2 := (sumsq[c][j] - nc*mean*mean) / (nc - 1)
+				if s2 < 0 {
+					s2 = 0
+				}
+				variance += N * N * (1 - nc/N) * s2 / nc
+			}
+		}
+		se := math.Sqrt(variance)
+		if !exact && se < relSEFloor*total {
+			se = relSEFloor * total
+		}
+		if !exact && total == 0 && len(sim.Measures) > 0 {
+			// Rare-event metric with zero observed occurrences: the
+			// point estimate is 0, but a zero-width bar would claim the
+			// full run has none. Rule of three: at 95% the per-interval
+			// rate is below 3/n, so the full-run total is below 3*M/n;
+			// report that as the upper bar.
+			se = 3 * float64(len(plan.Clusters.Assign)) / float64(len(sim.Measures)) / zCritical
+		}
+		lo := total - zCritical*se
+		if lo < 0 {
+			lo = 0
+		}
+		e := Estimate{
+			Machine: def.Machine,
+			Metric:  def.Name,
+			Total:   total,
+			StdErr:  se,
+			Lo:      lo,
+			Hi:      total + zCritical*se,
+		}
+		if totalInstr > 0 {
+			e.Rate = total / float64(totalInstr)
+		}
+		out[j] = e
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package sampling
+
+// Deterministic seeded k-medoids over interval signatures. The
+// clustering runs serially with a fixed iteration order and a private
+// splitmix64 generator, so the same intervals + k + seed always produce
+// the same medoid set — the first link in the byte-identical-estimates
+// chain. Distances are L1 over the signature vectors (bounded, scale-
+// free fractions, so no normalization pass is needed).
+
+// Clusters is a k-medoids partition of an interval set.
+type Clusters struct {
+	// Medoid maps cluster -> interval index of its representative.
+	Medoid []int
+	// Assign maps interval index -> cluster.
+	Assign []int
+	// Size counts members per cluster. Every cluster returned is
+	// non-empty (empty clusters are dropped and the rest renumbered).
+	Size []int
+}
+
+// K returns the number of (non-empty) clusters.
+func (c Clusters) K() int { return len(c.Medoid) }
+
+// splitmix64 advances the generator state and returns the next value —
+// the standard finalizer, the repository's seeded-randomness idiom.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sigDist is the L1 distance between two signature vectors.
+func sigDist(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if i >= len(b) {
+			d += a[i]
+			continue
+		}
+		if a[i] >= b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	for i := len(a); i < len(b); i++ {
+		d += b[i]
+	}
+	return d
+}
+
+// maxKMedoidsIters bounds the assignment/update loop; signatures are
+// low-dimensional and the loop converges in a handful of rounds.
+const maxKMedoidsIters = 32
+
+// Cluster partitions the intervals into at most k clusters. The seed
+// picks the first medoid; the rest seed by farthest-point spread
+// (deterministic, ties to the lowest index), then standard PAM-style
+// assignment/update iterations run to convergence.
+func Cluster(intervals []Interval, k int, seed uint64) Clusters {
+	m := len(intervals)
+	if m == 0 {
+		return Clusters{}
+	}
+	if k >= m {
+		// Identity clustering: every interval is its own (exactly
+		// measured) cluster, so k == M degenerates the whole pipeline to
+		// a full-fidelity run with zero-width error bars — even when
+		// signatures repeat.
+		cl := Clusters{Medoid: make([]int, m), Assign: make([]int, m), Size: make([]int, m)}
+		for i := 0; i < m; i++ {
+			cl.Medoid[i], cl.Assign[i], cl.Size[i] = i, i, 1
+		}
+		return cl
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	state := seed
+	medoids := make([]int, 0, k)
+	chosen := make([]bool, m)
+	medoids = append(medoids, int(splitmix64(&state)%uint64(m)))
+	chosen[medoids[0]] = true
+
+	// Farthest-point seeding: each further medoid is the unchosen
+	// interval farthest from its nearest chosen medoid (never a repeat,
+	// even when duplicate signatures make every distance zero).
+	nearest := make([]float64, m)
+	for i := range nearest {
+		nearest[i] = sigDist(intervals[i].Sig, intervals[medoids[0]].Sig)
+	}
+	for len(medoids) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < m; i++ {
+			if !chosen[i] && nearest[i] > bestD {
+				best, bestD = i, nearest[i]
+			}
+		}
+		medoids = append(medoids, best)
+		chosen[best] = true
+		for i := 0; i < m; i++ {
+			if d := sigDist(intervals[i].Sig, intervals[best].Sig); d < nearest[i] {
+				nearest[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, m)
+	// reassign maps every interval to its nearest medoid, ties to the
+	// lower cluster index.
+	reassign := func() {
+		for i := 0; i < m; i++ {
+			bestC, bestD := 0, sigDist(intervals[i].Sig, intervals[medoids[0]].Sig)
+			for c := 1; c < len(medoids); c++ {
+				if d := sigDist(intervals[i].Sig, intervals[medoids[c]].Sig); d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			assign[i] = bestC
+		}
+	}
+	for iter := 0; iter < maxKMedoidsIters; iter++ {
+		reassign()
+		// Update: the member minimizing total distance to its cluster,
+		// ties to the lowest interval index.
+		changed := false
+		for c := range medoids {
+			bestIdx, bestCost := -1, 0.0
+			for i := 0; i < m; i++ {
+				if assign[i] != c {
+					continue
+				}
+				var cost float64
+				for j := 0; j < m; j++ {
+					if assign[j] == c {
+						cost += sigDist(intervals[i].Sig, intervals[j].Sig)
+					}
+				}
+				if bestIdx == -1 || cost < bestCost {
+					bestIdx, bestCost = i, cost
+				}
+			}
+			if bestIdx != -1 && bestIdx != medoids[c] {
+				medoids[c] = bestIdx
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One final assignment so the partition always matches the final
+	// medoid set, even when the iteration cap cut the loop short.
+	reassign()
+
+	// Drop empty clusters (possible with duplicate signatures: the
+	// lower-indexed medoid takes every tied member) and renumber.
+	size := make([]int, len(medoids))
+	for i := 0; i < m; i++ {
+		size[assign[i]]++
+	}
+	remap := make([]int, len(medoids))
+	out := Clusters{Assign: make([]int, m)}
+	for c := range medoids {
+		if size[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(out.Medoid)
+		out.Medoid = append(out.Medoid, medoids[c])
+		out.Size = append(out.Size, size[c])
+	}
+	for i := 0; i < m; i++ {
+		out.Assign[i] = remap[assign[i]]
+	}
+	return out
+}

@@ -32,6 +32,12 @@ const (
 	DefaultInstr = 20_000_000 // emsim's default instruction budget
 	DefaultCores = 4          // the paper's configuration
 	DefaultLaps  = 40         // tables -sweep default
+
+	// Sampled-run defaults, mirroring the emsim -sample flag defaults.
+	DefaultSampleInterval = 1_000_000
+	DefaultSampleClusters = 8
+	DefaultSampleSeed     = 42
+	DefaultSampleWarmup   = 1
 )
 
 // RunSpec is the canonical identity of one /run request: workload name,
@@ -55,6 +61,17 @@ type RunSpec struct {
 	// Mutually exclusive with Workload; the response body is the
 	// MultiRunResultJSON shape instead of RunResultJSON.
 	Programs []string `json:"programs,omitempty"`
+
+	// Sample, when true, makes this an interval-sampling request: the
+	// response body is the SampleResultJSON shape (clearly marked
+	// estimated) instead of RunResultJSON. The Sample* parameters apply
+	// only then (0 selects the default), and they enter the cache key
+	// only when Sample is set, so every full-run key is unchanged.
+	Sample         bool   `json:"sample,omitempty"`
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleClusters int    `json:"sample_clusters,omitempty"`
+	SampleSeed     uint64 `json:"sample_seed,omitempty"`
+	SampleWarmup   int    `json:"sample_warmup,omitempty"`
 }
 
 // normalized returns the spec with defaults filled in.
@@ -71,6 +88,20 @@ func (s RunSpec) normalized() RunSpec {
 	if s.Topology == migration.TopologyUniform {
 		s.Topology = ""
 	}
+	if s.Sample {
+		if s.SampleInterval == 0 {
+			s.SampleInterval = DefaultSampleInterval
+		}
+		if s.SampleClusters == 0 {
+			s.SampleClusters = DefaultSampleClusters
+		}
+		if s.SampleSeed == 0 {
+			s.SampleSeed = DefaultSampleSeed
+		}
+		if s.SampleWarmup == 0 {
+			s.SampleWarmup = DefaultSampleWarmup
+		}
+	}
 	return s
 }
 
@@ -84,6 +115,21 @@ func (s RunSpec) validate() error {
 	}
 	if _, err := machine.MigrationConfigScenario(s.Cores, s.Policy, s.Topology); err != nil {
 		return err
+	}
+	if !s.Sample {
+		// Sampling sub-parameters without sample=true would silently do
+		// nothing; reject them so a mistyped request is an error, not a
+		// cache entry for a different experiment.
+		if s.SampleInterval != 0 || s.SampleClusters != 0 || s.SampleSeed != 0 || s.SampleWarmup != 0 {
+			return fmt.Errorf("sample_* parameters require sample=true")
+		}
+	} else {
+		if len(s.Programs) > 0 {
+			return fmt.Errorf("sample and programs are mutually exclusive")
+		}
+		if s.SampleClusters < 0 || s.SampleWarmup < 0 {
+			return fmt.Errorf("sample_clusters and sample_warmup must be >= 0")
+		}
 	}
 	if len(s.Programs) > 0 {
 		if s.Workload != "" {
@@ -123,6 +169,12 @@ func (s RunSpec) Key() string {
 	}
 	if len(n.Programs) > 0 {
 		fmt.Fprintf(&b, "\nprograms=%s", strings.Join(n.Programs, ","))
+	}
+	if n.Sample {
+		// Appended only for sampled requests, so every full-run key is
+		// byte-for-byte what it was before sampling existed.
+		fmt.Fprintf(&b, "\nsample=1\nsample_interval=%d\nsample_clusters=%d\nsample_seed=%d\nsample_warmup=%d",
+			n.SampleInterval, n.SampleClusters, n.SampleSeed, n.SampleWarmup)
 	}
 	return hashKey(b.String())
 }

@@ -34,6 +34,10 @@ func TestRunKeyCanonicalization(t *testing.T) {
 		{"never policy", `{"workload":"mst","policy":"never"}`, false},
 		{"cluster topology", `{"workload":"mst","topology":"cluster"}`, false},
 		{"multiprogram", `{"programs":["mst","mst"]}`, false},
+		// Sampling fields join the key only when sample=true, so every
+		// full-run key (every case above) is byte-for-byte what it was
+		// before sampling existed.
+		{"sampled run", `{"workload":"mst","sample":true}`, false},
 	}
 	want := base.Key()
 	for _, c := range cases {
@@ -72,6 +76,34 @@ func TestSweepKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestSampleKeyCanonicalization: the sampling sub-parameters are
+// load-bearing for sampled requests (each one distinguishes a
+// different experiment), and spelled-out sampling defaults hash to the
+// same key as a bare sample=true request.
+func TestSampleKeyCanonicalization(t *testing.T) {
+	base := RunSpec{Workload: "mst", Sample: true}
+	want := base.Key()
+	explicit := RunSpec{Workload: "mst", Sample: true,
+		SampleInterval: DefaultSampleInterval, SampleClusters: DefaultSampleClusters,
+		SampleSeed: DefaultSampleSeed, SampleWarmup: DefaultSampleWarmup}
+	if explicit.Key() != want {
+		t.Fatal("spelled-out sampling defaults hash differently from bare sample=true")
+	}
+	if base.Key() == (RunSpec{Workload: "mst"}).Key() {
+		t.Fatal("sampled and full-fidelity runs share a cache entry")
+	}
+	for name, spec := range map[string]RunSpec{
+		"interval": {Workload: "mst", Sample: true, SampleInterval: 40_000},
+		"clusters": {Workload: "mst", Sample: true, SampleClusters: 4},
+		"seed":     {Workload: "mst", Sample: true, SampleSeed: 7},
+		"warmup":   {Workload: "mst", Sample: true, SampleWarmup: 3},
+	} {
+		if spec.Key() == want {
+			t.Errorf("sample_%s not in the key", name)
+		}
+	}
+}
+
 // TestKeyNamespacesOps: a run and a sweep can never collide, whatever
 // their fields.
 func TestKeyNamespacesOps(t *testing.T) {
@@ -91,6 +123,15 @@ func TestRunSpecValidate(t *testing.T) {
 		{Workload: "mst", Topology: "no-such-topology"},
 		{Workload: "mst", Programs: []string{"em3d"}}, // mutually exclusive
 		{Programs: []string{"no-such-workload"}},
+		// Sampling parameters without sample=true would silently do
+		// nothing — rejected so a typo isn't a different cache entry.
+		{Workload: "mst", SampleInterval: 40_000},
+		{Workload: "mst", SampleClusters: 4},
+		{Workload: "mst", SampleSeed: 7},
+		{Workload: "mst", SampleWarmup: 2},
+		{Programs: []string{"mst", "em3d"}, Sample: true}, // mutually exclusive
+		{Workload: "mst", Sample: true, SampleClusters: -1},
+		{Workload: "mst", Sample: true, SampleWarmup: -1},
 	} {
 		if err := bad.normalized().validate(); err == nil {
 			t.Errorf("spec %+v accepted", bad)
@@ -100,6 +141,8 @@ func TestRunSpecValidate(t *testing.T) {
 		{Workload: "mst"},
 		{Workload: "mst", Policy: "numa", Topology: "ring"},
 		{Programs: []string{"mst", "em3d"}},
+		{Workload: "mst", Sample: true},
+		{Workload: "mst", Sample: true, SampleInterval: 40_000, SampleClusters: 4, SampleWarmup: 3},
 	} {
 		if err := good.normalized().validate(); err != nil {
 			t.Errorf("valid spec %+v rejected: %v", good, err)

@@ -130,6 +130,9 @@ func (s *Service) runJob(ctx context.Context, spec RunSpec) ([]byte, error) {
 	if len(spec.Programs) > 0 {
 		return s.multiJob(ctx, spec)
 	}
+	if spec.Sample {
+		return s.sampleJob(ctx, spec)
+	}
 	normal, err := machine.New(machine.NormalConfig())
 	if err != nil {
 		return nil, err
@@ -205,6 +208,38 @@ func (s *Service) multiJob(ctx context.Context, spec RunSpec) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	if err := report.WriteMultiRunJSON(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sampleJob executes one sampled /run request through the shared
+// report.SampleRun driver — the same code path as `emsim -sample
+// -json`, so the response bytes match the CLI's for the same
+// parameters. Workers is 1 (the caller already holds a worker slot);
+// chain order makes the estimate identical at any worker count anyway.
+func (s *Service) sampleJob(ctx context.Context, spec RunSpec) ([]byte, error) {
+	jobCtx, cancel := s.jobContext(ctx)
+	defer cancel()
+	res, err := report.SampleRun(suite.Registry(), report.SampleConfig{
+		Workload: spec.Workload,
+		Instr:    spec.Instr,
+		Cores:    spec.Cores,
+		Policy:   spec.Policy,
+		Topology: spec.Topology,
+		Interval: spec.SampleInterval,
+		Clusters: spec.SampleClusters,
+		Seed:     spec.SampleSeed,
+		Warmup:   spec.SampleWarmup,
+	}, report.RunOptions{Workers: 1, Context: jobCtx})
+	if err != nil {
+		if jobCtx.Err() != nil {
+			return nil, s.ctxError(ctx, "")
+		}
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.WriteSampleJSON(&buf, res); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

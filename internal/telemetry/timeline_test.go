@@ -58,6 +58,75 @@ func TestTimelineRingGrowth(t *testing.T) {
 	}
 }
 
+// TestTimelineHardCapDropsOldest: at the row limit the ring stops
+// growing and slides — the newest rows survive, the evicted prefix is
+// counted, and the surviving rows keep their original interval numbers.
+func TestTimelineHardCapDropsOldest(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("n")
+	tl, err := NewTimelineLimited(r, 1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := uint64(1); ev <= 20; ev++ {
+		c.Inc()
+		tl.MaybeSample(ev)
+	}
+	if tl.Len() != 8 {
+		t.Fatalf("len = %d, want the 8-row cap", tl.Len())
+	}
+	if tl.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12 (20 samples through an 8-row cap)", tl.Dropped())
+	}
+	rows := tl.Rows("m")
+	for i, row := range rows {
+		wantEv := uint64(13 + i) // the 8 most recent of 20 samples
+		if row.Events != wantEv || row.Counters["n"] != wantEv {
+			t.Fatalf("row %d = events %d n %d, want %d", i, row.Events, row.Counters["n"], wantEv)
+		}
+		if row.Interval != 12+i {
+			t.Fatalf("row %d interval = %d, want %d (original numbering preserved)", i, row.Interval, 12+i)
+		}
+	}
+}
+
+// TestTimelineCapClampsCapacity: a capacity above the limit must not
+// preallocate rows the cap would never let the ring reach.
+func TestTimelineCapClampsCapacity(t *testing.T) {
+	tl, err := NewTimelineLimited(NewRegistry(), 1, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.samples) != 4 {
+		t.Fatalf("preallocated %d slots, want the 4-row cap", len(tl.samples))
+	}
+	if tl2, err := NewTimelineLimited(NewRegistry(), 1, 1, 0); err != nil || tl2.limit != DefaultTimelineLimit {
+		t.Fatalf("limit 0 did not select the default cap: %v, %v", tl2, err)
+	}
+}
+
+// TestTimelineCapEvictionIsAllocationFree: the sliding-window steady
+// state recycles the evicted slot's preallocated storage.
+func TestTimelineCapEvictionIsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("refs")
+	h := r.MustHistogram("gap")
+	tl, err := NewTimelineLimited(r, 1, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		ev++
+		c.Inc()
+		h.Observe(ev)
+		tl.MaybeSample(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per evicting sample; eviction must recycle the slot", allocs)
+	}
+}
+
 func TestTimelineRejectsZeroInterval(t *testing.T) {
 	if _, err := NewTimeline(NewRegistry(), 0, 1); err == nil {
 		t.Fatal("interval 0 accepted")
@@ -121,5 +190,34 @@ func TestWriteJSONLFormat(t *testing.T) {
 `
 	if buf.String() != want {
 		t.Fatalf("JSONL:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestWriteJSONLFooter: a capped run's output ends with the
+// drop-accounting footer; an uncapped run's output is byte-identical to
+// the footerless format.
+func TestWriteJSONLFooter(t *testing.T) {
+	rows := []Row{
+		{Machine: "normal", Interval: 3, Events: 40, Counters: map[string]uint64{"a": 1}},
+	}
+	var capped bytes.Buffer
+	if err := WriteJSONLWithFooter(&capped, rows, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"machine":"normal","interval":3,"events":40,"counters":{"a":1}}
+{"dropped_rows":3,"kept_rows":1}
+`
+	if capped.String() != want {
+		t.Fatalf("footer JSONL:\n%s\nwant:\n%s", capped.String(), want)
+	}
+	var plain, legacy bytes.Buffer
+	if err := WriteJSONLWithFooter(&plain, rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&legacy, rows); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != legacy.String() || strings.Contains(plain.String(), "dropped_rows") {
+		t.Fatalf("zero-drop output not byte-identical to the footerless format:\n%s", plain.String())
 	}
 }
